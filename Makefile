@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test test-short bench experiments fuzz clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+# One benchmark per paper table/figure (see bench_test.go).
+bench:
+	go test -bench=. -benchmem
+
+# Regenerate every table and figure at the documented scale.
+experiments:
+	go run ./cmd/experiments -all -insts 1000000 -warmup 250000
+
+fuzz:
+	go test ./internal/trace -run xxx -fuzz FuzzReader -fuzztime 30s
+
+clean:
+	go clean ./...

@@ -1,0 +1,97 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig9
+//	experiments -run fig9,fig10,table5
+//	experiments -all -insts 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fdpsim/internal/harness"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "", "comma-separated experiment IDs to run")
+		all     = flag.Bool("all", false, "run every experiment")
+		insts   = flag.Uint64("insts", 1_000_000, "instructions per simulation (after warmup)")
+		warmup  = flag.Uint64("warmup", 250_000, "warmup instructions excluded from statistics")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		tint    = flag.Uint64("tinterval", 2048, "FDP sampling interval in useful evictions (paper: 8192 at 250M insts)")
+		format  = flag.String("format", "text", "output format: text, csv, or chart")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *all {
+		for _, e := range harness.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else if *run != "" {
+		ids = strings.Split(*run, ",")
+	} else {
+		fmt.Fprintln(os.Stderr, "experiments: use -list, -run <ids>, or -all")
+		os.Exit(2)
+	}
+
+	p := harness.DefaultParams()
+	p.Insts = *insts
+	p.Warmup = *warmup
+	p.Seed = *seed
+	p.TInterval = *tint
+	if *workers > 0 {
+		p.Workers = *workers
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := harness.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (see -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables, err := e.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "chart":
+			fmt.Printf("=== %s: %s\n\n", e.ID, e.Title)
+			for i := range tables {
+				tables[i].RenderChart(os.Stdout, 48)
+			}
+		case "csv":
+			for i := range tables {
+				if err := tables[i].RenderCSV(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			}
+		default:
+			fmt.Printf("=== %s: %s  [%.1fs]\n\n", e.ID, e.Title, time.Since(start).Seconds())
+			for i := range tables {
+				tables[i].Render(os.Stdout)
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Command fdpsim runs a single simulation and prints its metrics.
+//
+// Usage:
+//
+//	fdpsim -workload seqstream -prefetcher stream -level 5 -insts 1000000
+//	fdpsim -workload chaserand -prefetcher stream -fdp
+//	fdpsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fdpsim"
+	"fdpsim/internal/prefetch"
+)
+
+// emitJSON prints a machine-readable single-run result.
+func emitJSON(res fdpsim.Result) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fmt.Fprintln(os.Stderr, "fdpsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runMulticore executes one multi-core simulation with every core using
+// the already-parsed single-core configuration as its template.
+func runMulticore(tmpl fdpsim.Config, workloads []string, jsonOut bool) {
+	var mc fdpsim.MultiConfig
+	for _, w := range workloads {
+		cfg := tmpl
+		cfg.Workload = strings.TrimSpace(w)
+		mc.Cores = append(mc.Cores, cfg)
+	}
+	res, err := fdpsim.RunMulti(mc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdpsim:", err)
+		os.Exit(1)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "fdpsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	var totalInsts uint64
+	for i, c := range res.Cores {
+		fmt.Printf("core %d %-14s IPC=%.4f BPKI=%7.1f accuracy=%5.1f%% level=%d finish=%d\n",
+			i, c.Workload, c.IPC, c.BPKI, 100*c.Accuracy, c.FinalLevel, c.FinishCycle)
+		totalInsts += c.Counters.Retired
+	}
+	fmt.Printf("aggregate IPC=%.4f  total bus/KI=%.1f  cycles=%d\n",
+		res.AggregateIPC(), 1000*float64(res.TotalBusAccesses)/float64(totalInsts), res.Cycles)
+}
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "seqstream", "workload name (see -list)")
+		prefName     = flag.String("prefetcher", "stream", "prefetcher: none, stream, ghb, stride, nextline")
+		level        = flag.Int("level", 5, "static aggressiveness 1..5 (ignored with -fdp)")
+		fdp          = flag.Bool("fdp", false, "enable full FDP (dynamic aggressiveness + insertion)")
+		dynIns       = flag.Bool("dynins", false, "enable only dynamic insertion (static level)")
+		insertAt     = flag.String("insert", "MRU", "static insertion position: MRU, MID, LRU-4, LRU")
+		insts        = flag.Uint64("insts", 1_000_000, "instructions to retire")
+		memlat       = flag.Uint64("memlat", 0, "scale DRAM latencies to target this minimum main-memory latency (0 = baseline 500)")
+		l2kb         = flag.Int("l2kb", 0, "L2 size in KB (0 = baseline 1024)")
+		seed         = flag.Uint64("seed", 1, "workload seed")
+		list         = flag.Bool("list", false, "list workloads and exit")
+		verbose      = flag.Bool("v", false, "print raw counters")
+		jsonOut      = flag.Bool("json", false, "emit the result as JSON")
+		cores        = flag.String("cores", "", "comma-separated workloads for a multi-core run on a shared bus")
+		configPath   = flag.String("config", "", "JSON file overriding the assembled configuration")
+		dumpConfig   = flag.Bool("dumpconfig", false, "print the assembled configuration as JSON and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("memory-intensive (the paper's 17-benchmark set):")
+		for _, w := range fdpsim.MemoryIntensiveWorkloads() {
+			fmt.Printf("  %-14s %s\n", w, fdpsim.WorkloadAbout(w))
+		}
+		fmt.Println("low-potential (Figure 14's 9 benchmarks):")
+		for _, w := range fdpsim.LowPotentialWorkloads() {
+			fmt.Printf("  %-14s %s\n", w, fdpsim.WorkloadAbout(w))
+		}
+		return
+	}
+
+	var cfg fdpsim.Config
+	kind := fdpsim.PrefetcherKind(*prefName)
+	if *fdp {
+		cfg = fdpsim.WithFDP(kind)
+	} else if kind == fdpsim.PrefNone {
+		cfg = fdpsim.Default()
+	} else {
+		cfg = fdpsim.Conventional(kind, *level)
+	}
+	if *dynIns {
+		cfg.FDP.DynamicInsertion = true
+	}
+	switch *insertAt {
+	case "MRU":
+	case "MID":
+		cfg.FDP.StaticInsertion = fdpsim.PosMID
+	case "LRU-4":
+		cfg.FDP.StaticInsertion = fdpsim.PosLRU4
+	case "LRU":
+		cfg.FDP.StaticInsertion = fdpsim.PosLRU
+	default:
+		fmt.Fprintf(os.Stderr, "fdpsim: unknown insertion position %q\n", *insertAt)
+		os.Exit(2)
+	}
+	if *memlat != 0 {
+		scale := float64(*memlat) / 500
+		cfg.DRAM.RowHit = uint64(float64(cfg.DRAM.RowHit) * scale)
+		cfg.DRAM.RowConflict = uint64(float64(cfg.DRAM.RowConflict) * scale)
+	}
+	if *l2kb != 0 {
+		cfg.L2Blocks = *l2kb * 1024 / 64
+	}
+	cfg.Workload = *workloadName
+	cfg.MaxInsts = *insts
+	cfg.Seed = *seed
+
+	if *configPath != "" {
+		raw, err := os.ReadFile(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdpsim:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "fdpsim: parsing %s: %v\n", *configPath, err)
+			os.Exit(1)
+		}
+	}
+	if *dumpConfig {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "fdpsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *cores != "" {
+		runMulticore(cfg, strings.Split(*cores, ","), *jsonOut)
+		return
+	}
+
+	res, err := fdpsim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdpsim:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		emitJSON(res)
+		return
+	}
+
+	mode := "conventional"
+	if *fdp {
+		mode = "FDP (dynamic aggressiveness + dynamic insertion)"
+	} else if kind == fdpsim.PrefNone {
+		mode = "no prefetching"
+	} else {
+		mode = fmt.Sprintf("conventional, %s", prefetch.LevelName(*level))
+	}
+	fmt.Printf("workload   : %s — %s\n", res.Workload, fdpsim.WorkloadAbout(res.Workload))
+	fmt.Printf("prefetcher : %s (%s)\n", res.Prefetcher, mode)
+	fmt.Printf("IPC        : %.4f\n", res.IPC)
+	fmt.Printf("BPKI       : %.2f\n", res.BPKI)
+	fmt.Printf("accuracy   : %.1f%%   lateness: %.1f%%   pollution: %.1f%%\n",
+		100*res.Accuracy, 100*res.Lateness, 100*res.Pollution)
+	if *fdp {
+		fmt.Printf("intervals  : %d   final level: %d (%s)\n",
+			res.Intervals, res.FinalLevel, prefetch.LevelName(res.FinalLevel))
+		fmt.Printf("%s\n%s\n", res.LevelDist, res.InsertDist)
+	}
+	if *verbose {
+		c := res.Counters
+		fmt.Printf("cycles=%d retired=%d loads=%d stores=%d\n", c.Cycles, c.Retired, c.RetiredLoads, c.RetiredStores)
+		fmt.Printf("L1: %d accesses, %d misses; L2 demand: %d accesses, %d misses\n",
+			c.L1Accesses, c.L1Misses, c.L2DemandAccesses, c.L2DemandMisses)
+		fmt.Printf("bus: %d reads, %d prefetches, %d writebacks\n", c.BusReads, c.BusPrefetches, c.BusWritebacks)
+		fmt.Printf("pref: issued=%d dropped=%d sent=%d used=%d late=%d filled=%d\n",
+			c.PrefIssued, c.PrefDropped, c.PrefSent, c.PrefUsed, c.PrefLate, c.PrefetchFilled)
+		fmt.Printf("pollution hits=%d useful evictions=%d\n", c.PollutionHits, c.UsefulEvicted)
+	}
+}

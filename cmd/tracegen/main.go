@@ -1,0 +1,74 @@
+// Command tracegen records a workload's micro-op stream to a trace file,
+// and can replay a trace through the simulator to verify it.
+//
+// Usage:
+//
+//	tracegen -workload seqstream -ops 1000000 -o seqstream.trc
+//	tracegen -replay seqstream.trc -prefetcher stream -level 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fdpsim"
+	"fdpsim/internal/trace"
+	"fdpsim/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "seqstream", "workload to record")
+		ops          = flag.Uint64("ops", 1_000_000, "micro-ops to record")
+		out          = flag.String("o", "", "output trace path (default <workload>.trc)")
+		replay       = flag.String("replay", "", "replay a trace file through the simulator instead of recording")
+		prefName     = flag.String("prefetcher", "stream", "prefetcher for -replay")
+		level        = flag.Int("level", 5, "aggressiveness for -replay")
+		seed         = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		fatalIf(err)
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		fatalIf(err)
+		r.Loop = true
+		cfg := fdpsim.Conventional(fdpsim.PrefetcherKind(*prefName), *level)
+		cfg.MaxInsts = uint64(r.Len())
+		res, err := fdpsim.RunSource(cfg, r)
+		fatalIf(err)
+		fmt.Printf("replayed %s (%d ops): IPC=%.4f BPKI=%.2f accuracy=%.1f%%\n",
+			r.Name(), r.Len(), res.IPC, res.BPKI, 100*res.Accuracy)
+		return
+	}
+
+	src, err := workload.New(*workloadName, *seed)
+	fatalIf(err)
+	path := *out
+	if path == "" {
+		path = *workloadName + ".trc"
+	}
+	f, err := os.Create(path)
+	fatalIf(err)
+	w, err := trace.NewWriter(f, *workloadName)
+	fatalIf(err)
+	for i := uint64(0); i < *ops; i++ {
+		fatalIf(w.Write(src.Next()))
+	}
+	fatalIf(w.Close())
+	fatalIf(f.Close())
+	st, err := os.Stat(path)
+	fatalIf(err)
+	fmt.Printf("recorded %d ops of %s to %s (%d bytes, %.2f bits/op)\n",
+		*ops, *workloadName, path, st.Size(), 8*float64(st.Size())/float64(*ops))
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

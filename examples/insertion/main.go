@@ -1,0 +1,55 @@
+// Insertion-policy study (the paper's Section 5.2): where in the L2's LRU
+// stack should prefetched blocks land? MRU insertion keeps accurate
+// prefetches alive longest; LRU insertion makes junk prefetches evict
+// themselves. This example sweeps the four static positions plus Dynamic
+// Insertion on a pollution-sensitive workload and a clean stream, showing
+// why no static choice wins both.
+//
+//	go run ./examples/insertion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fdpsim"
+)
+
+func main() {
+	const insts = 500_000
+	positions := []struct {
+		label string
+		pos   fdpsim.InsertPos
+	}{
+		{"LRU", fdpsim.PosLRU},
+		{"LRU-4", fdpsim.PosLRU4},
+		{"MID", fdpsim.PosMID},
+		{"MRU", fdpsim.PosMRU},
+	}
+
+	for _, workload := range []string{"hotcold", "seqstream"} {
+		fmt.Printf("workload %q: %s\n", workload, fdpsim.WorkloadAbout(workload))
+		for _, p := range positions {
+			cfg := fdpsim.Conventional(fdpsim.PrefStream, 5)
+			cfg.Workload = workload
+			cfg.MaxInsts = insts
+			cfg.FDP.StaticInsertion = p.pos
+			res, err := fdpsim.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  insert at %-6s IPC=%.4f  BPKI=%6.1f\n", p.label, res.IPC, res.BPKI)
+		}
+		cfg := fdpsim.Conventional(fdpsim.PrefStream, 5)
+		cfg.Workload = workload
+		cfg.MaxInsts = insts
+		cfg.FDP.DynamicInsertion = true
+		cfg.FDP.TInterval = 2048
+		res, err := fdpsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  dynamic (FDP)    IPC=%.4f  BPKI=%6.1f   chosen: %s\n\n",
+			res.IPC, res.BPKI, res.InsertDist)
+	}
+}

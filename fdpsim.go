@@ -1,0 +1,131 @@
+// Package fdpsim is the public facade of the Feedback Directed Prefetching
+// (FDP) reproduction: a cycle-level processor and memory-system simulator
+// implementing the HPCA 2007 paper "Feedback Directed Prefetching:
+// Improving the Performance and Bandwidth-Efficiency of Hardware
+// Prefetchers" (Srinath, Mutlu, Kim, Patt), together with the stream,
+// GHB C/DC and PC-stride prefetchers it evaluates and the synthetic
+// workloads standing in for the SPEC CPU2000 benchmarks.
+//
+// Quick start:
+//
+//	cfg := fdpsim.WithFDP(fdpsim.PrefStream)
+//	cfg.Workload = "seqstream"
+//	res, err := fdpsim.Run(cfg)
+//	fmt.Printf("IPC=%.3f BPKI=%.1f accuracy=%.0f%%\n",
+//		res.IPC, res.BPKI, 100*res.Accuracy)
+package fdpsim
+
+import (
+	"fdpsim/internal/cache"
+	"fdpsim/internal/cpu"
+	"fdpsim/internal/prefetch"
+	"fdpsim/internal/sim"
+	"fdpsim/internal/workload"
+)
+
+// InsertPos names a depth in a cache set's LRU stack at which prefetched
+// blocks are inserted (the paper's Section 3.3.2 policy space).
+type InsertPos = cache.InsertPos
+
+// Insertion positions, least- to most-recently-used.
+const (
+	PosLRU  = cache.PosLRU
+	PosLRU4 = cache.PosLRU4
+	PosMID  = cache.PosMID
+	PosMRU  = cache.PosMRU
+)
+
+// Config is a full simulation configuration. See sim.Config.
+type Config = sim.Config
+
+// Result is a completed simulation's metrics. See sim.Result.
+type Result = sim.Result
+
+// PrefetcherKind selects the hardware prefetcher under study.
+type PrefetcherKind = sim.PrefetcherKind
+
+// Prefetcher is the interface a user-defined prefetcher implements to run
+// under the simulator (and under FDP throttling) via PrefCustom.
+type Prefetcher = prefetch.Prefetcher
+
+// PrefetchEvent is the demand-access notification delivered to a
+// prefetcher's Observe method.
+type PrefetchEvent = prefetch.Event
+
+// MicroOp and Source let callers supply custom instruction streams to
+// RunSource.
+type (
+	MicroOp = cpu.MicroOp
+	Source  = cpu.Source
+)
+
+// Micro-op kinds for custom sources.
+const (
+	OpNop   = cpu.Nop
+	OpLoad  = cpu.Load
+	OpStore = cpu.Store
+)
+
+// Prefetcher kinds.
+const (
+	PrefNone     = sim.PrefNone
+	PrefStream   = sim.PrefStream
+	PrefGHB      = sim.PrefGHB
+	PrefStride   = sim.PrefStride
+	PrefNextLine = sim.PrefNextLine
+	PrefCustom   = sim.PrefCustom
+)
+
+// Default returns the paper's Table 3 baseline with no prefetcher.
+func Default() Config { return sim.Default() }
+
+// Conventional returns the baseline plus a conventional prefetcher pinned
+// at a Table 1 aggressiveness level (1 = very conservative .. 5 = very
+// aggressive).
+func Conventional(kind PrefetcherKind, level int) Config { return sim.Conventional(kind, level) }
+
+// WithFDP returns the baseline plus a prefetcher under full FDP control
+// (Dynamic Aggressiveness and Dynamic Insertion).
+func WithFDP(kind PrefetcherKind) Config { return sim.WithFDP(kind) }
+
+// MultiConfig describes a chip-multiprocessor run: several cores with
+// private hierarchies sharing one memory bus. See sim.MultiConfig.
+type MultiConfig = sim.MultiConfig
+
+// MultiResult aggregates a multi-core run. See sim.MultiResult.
+type MultiResult = sim.MultiResult
+
+// CoreResult is one core's outcome within a multi-core run.
+type CoreResult = sim.CoreResult
+
+// Run executes one simulation to completion.
+func Run(cfg Config) (Result, error) { return sim.Run(cfg) }
+
+// RunMulti executes a multi-core simulation on a shared memory bus.
+func RunMulti(mc MultiConfig) (MultiResult, error) { return sim.RunMulti(mc) }
+
+// SMTConfig describes hardware threads sharing one cache hierarchy,
+// prefetcher and FDP engine (the paper's Section 4.3 shared-L2 setting).
+type SMTConfig = sim.SMTConfig
+
+// SMTResult aggregates an SMT run.
+type SMTResult = sim.SMTResult
+
+// RunSMT executes threads over one shared hierarchy.
+func RunSMT(cfg SMTConfig) (SMTResult, error) { return sim.RunSMT(cfg) }
+
+// RunSource executes one simulation over a caller-provided micro-op
+// source, enabling custom workloads and trace replay.
+func RunSource(cfg Config, src cpu.Source) (Result, error) { return sim.RunSource(cfg, src) }
+
+// Workloads returns all registered workload names.
+func Workloads() []string { return workload.Names() }
+
+// MemoryIntensiveWorkloads returns the paper's 17-benchmark evaluation set.
+func MemoryIntensiveWorkloads() []string { return workload.MemoryIntensive() }
+
+// LowPotentialWorkloads returns the remaining 9 benchmarks (Figure 14).
+func LowPotentialWorkloads() []string { return workload.LowPotential() }
+
+// WorkloadAbout returns the one-line description of a workload.
+func WorkloadAbout(name string) string { return workload.About(name) }

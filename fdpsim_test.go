@@ -1,0 +1,119 @@
+package fdpsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Example demonstrates the README quickstart: one FDP run on the
+// prefetch-hostile chase, reporting the metrics FDP estimates in hardware.
+func Example() {
+	cfg := WithFDP(PrefStream)
+	cfg.Workload = "chaserand"
+	cfg.MaxInsts = 100_000
+	cfg.FDP.TInterval = 1024
+	res, err := Run(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("accuracy below 40%%: %v\n", res.Accuracy < 0.40)
+	fmt.Printf("throttled below Middle: %v\n", res.FinalLevel < 3)
+	// Output:
+	// accuracy below 40%: true
+	// throttled below Middle: true
+}
+
+// ExampleRunMulti demonstrates a two-core run on the shared bus.
+func ExampleRunMulti() {
+	var mc MultiConfig
+	for _, w := range []string{"seqstream", "tinyloop"} {
+		cfg := Conventional(PrefStream, 5)
+		cfg.Workload = w
+		cfg.MaxInsts = 50_000
+		mc.Cores = append(mc.Cores, cfg)
+	}
+	res, err := RunMulti(mc)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("cores: %d, both progressed: %v\n",
+		len(res.Cores), res.Cores[0].IPC > 0 && res.Cores[1].IPC > 0)
+	// Output:
+	// cores: 2, both progressed: true
+}
+
+func TestFacadeWorkloadLists(t *testing.T) {
+	all := Workloads()
+	mi := MemoryIntensiveWorkloads()
+	lp := LowPotentialWorkloads()
+	if len(mi) != 17 || len(lp) != 9 || len(all) != 26 {
+		t.Fatalf("workload sets: %d mem-intensive, %d low-potential, %d total", len(mi), len(lp), len(all))
+	}
+	for _, w := range all {
+		if WorkloadAbout(w) == "" {
+			t.Errorf("workload %s undescribed", w)
+		}
+	}
+}
+
+func TestFacadeRun(t *testing.T) {
+	cfg := WithFDP(PrefStream)
+	cfg.Workload = "regionwalk"
+	cfg.MaxInsts = 30_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.Workload != "regionwalk" || res.Prefetcher != "stream" {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestFacadeRunSourceWithCustomPrefetcher(t *testing.T) {
+	cfg := Conventional(PrefCustom, 5)
+	cfg.Custom = &tagAlong{}
+	cfg.MaxInsts = 20_000
+	res, err := RunSource(cfg, &rampSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.PrefSent == 0 {
+		t.Fatal("custom prefetcher sent nothing")
+	}
+}
+
+func TestFacadeCustomRequiresInstance(t *testing.T) {
+	cfg := Conventional(PrefCustom, 5)
+	cfg.Workload = "seqstream"
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "Custom") {
+		t.Fatalf("missing Custom accepted: %v", err)
+	}
+}
+
+// tagAlong prefetches the next block on every miss.
+type tagAlong struct{ level int }
+
+func (p *tagAlong) Name() string       { return "tagalong" }
+func (p *tagAlong) SetLevel(level int) { p.level = level }
+func (p *tagAlong) Level() int         { return p.level }
+func (p *tagAlong) Observe(ev PrefetchEvent) []uint64 {
+	if !ev.Miss {
+		return nil
+	}
+	return []uint64{ev.Block + 1}
+}
+
+// rampSource emits one streaming load every fourth op.
+type rampSource struct{ i uint64 }
+
+func (s *rampSource) Name() string { return "ramp" }
+func (s *rampSource) Next() MicroOp {
+	s.i++
+	if s.i%4 == 0 {
+		return MicroOp{Kind: OpLoad, Addr: s.i * 16, PC: 0x600000}
+	}
+	return MicroOp{Kind: OpNop}
+}

@@ -1,0 +1,3 @@
+module fdpsim
+
+go 1.22

@@ -1,0 +1,286 @@
+// Package cache implements the set-associative cache models used by the
+// simulator: true-LRU stacks with arbitrary insertion depth (needed for the
+// paper's MID/LRU-4/LRU prefetch insertion policies), per-block pref-bits
+// (the FDP accuracy mechanism), dirty bits for writeback traffic, and the
+// L2 miss-status holding registers (MSHRs) with pref-bits for lateness
+// detection.
+package cache
+
+import "fmt"
+
+// Addr is a cache-block address: the byte address shifted right by the
+// block-offset bits. All structures in this package operate on block
+// addresses; the owner performs the shift once at the edge.
+type Addr = uint64
+
+// InsertPos names a depth in a set's LRU stack at which a filled block is
+// inserted. The paper defines, for an n-way set: MID = floor(n/2)-th
+// least-recently-used position, LRU-4 = floor(n/4)-th, LRU = position 0,
+// MRU = position n-1.
+type InsertPos int
+
+// Insertion positions, least- to most-recently-used.
+const (
+	PosLRU InsertPos = iota
+	PosLRU4
+	PosMID
+	PosMRU
+	numInsertPos
+)
+
+// String returns the paper's name for the position.
+func (p InsertPos) String() string {
+	switch p {
+	case PosLRU:
+		return "LRU"
+	case PosLRU4:
+		return "LRU-4"
+	case PosMID:
+		return "MID"
+	case PosMRU:
+		return "MRU"
+	}
+	return fmt.Sprintf("InsertPos(%d)", int(p))
+}
+
+// Depth returns the LRU-stack index (0 = LRU end) this position maps to in
+// a cache with the given associativity.
+func (p InsertPos) Depth(ways int) int {
+	switch p {
+	case PosLRU:
+		return 0
+	case PosLRU4:
+		return ways / 4
+	case PosMID:
+		return ways / 2
+	default:
+		return ways - 1
+	}
+}
+
+// Block is one cache line's tag-store state.
+type Block struct {
+	Tag   Addr // full block address (serves as the tag; sets re-derive index)
+	Valid bool
+	Dirty bool
+	// Pref is the paper's pref-bit: set when the block is filled by a
+	// prefetch, cleared the first time a demand request touches it.
+	Pref bool
+	// DemandFill records the fill's origin: true when the block was
+	// brought in by a demand miss. The pollution filter only tracks
+	// demand-filled victims (Section 3.1.3), so this must survive the
+	// pref-bit being cleared on first use.
+	DemandFill bool
+}
+
+// set holds blocks in LRU order: index 0 is the least recently used.
+type set struct {
+	blocks []Block
+}
+
+// EvictionInfo describes a block displaced by an insertion, delivered to
+// the cache's eviction hook.
+type Evicted struct {
+	Block Block
+	// ByPrefetch is true when the incoming fill that displaced this block
+	// was a prefetch — the trigger for the pollution filter.
+	ByPrefetch bool
+}
+
+// Cache is a set-associative, true-LRU cache model. It is a pure storage
+// and replacement model: latencies, ports and queueing belong to the owner.
+type Cache struct {
+	name     string
+	ways     int
+	numSets  int
+	setMask  uint64
+	sets     []set
+	OnEvict  func(ev Evicted) // optional; called for every valid eviction
+	accesses uint64
+	misses   uint64
+}
+
+// New constructs a cache holding totalBlocks blocks with the given
+// associativity. totalBlocks must be a multiple of ways and the resulting
+// set count must be a power of two. A ways value of 0 requests a fully
+// associative cache (one set).
+func New(name string, totalBlocks, ways int) *Cache {
+	if ways <= 0 || ways > totalBlocks {
+		ways = totalBlocks
+	}
+	numSets := totalBlocks / ways
+	if numSets*ways != totalBlocks {
+		panic(fmt.Sprintf("cache %s: %d blocks not divisible by %d ways", name, totalBlocks, ways))
+	}
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, numSets))
+	}
+	c := &Cache{
+		name:    name,
+		ways:    ways,
+		numSets: numSets,
+		setMask: uint64(numSets - 1),
+		sets:    make([]set, numSets),
+	}
+	for i := range c.sets {
+		c.sets[i].blocks = make([]Block, 0, ways)
+	}
+	return c
+}
+
+// Name returns the label the cache was constructed with.
+func (c *Cache) Name() string { return c.name }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// Blocks returns the total block capacity.
+func (c *Cache) Blocks() int { return c.numSets * c.ways }
+
+func (c *Cache) setFor(block Addr) *set { return &c.sets[block&c.setMask] }
+
+func (s *set) find(block Addr) int {
+	for i := range s.blocks {
+		if s.blocks[i].Valid && s.blocks[i].Tag == block {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lookup probes for the block without changing replacement state. It
+// returns a pointer into the set that is invalidated by the next mutating
+// call, so callers must consume it immediately.
+func (c *Cache) Lookup(block Addr) *Block {
+	s := c.setFor(block)
+	if i := s.find(block); i >= 0 {
+		return &s.blocks[i]
+	}
+	return nil
+}
+
+// Contains reports whether the block is resident.
+func (c *Cache) Contains(block Addr) bool { return c.Lookup(block) != nil }
+
+// Access performs a demand reference: on a hit the block is promoted to
+// MRU and returned (its Pref bit is left for the caller to inspect and
+// clear); on a miss nil is returned. Hit/miss statistics are updated.
+func (c *Cache) Access(block Addr) *Block {
+	c.accesses++
+	s := c.setFor(block)
+	i := s.find(block)
+	if i < 0 {
+		c.misses++
+		return nil
+	}
+	// Promote to MRU: move to the end of the stack.
+	b := s.blocks[i]
+	copy(s.blocks[i:], s.blocks[i+1:])
+	s.blocks[len(s.blocks)-1] = b
+	return &s.blocks[len(s.blocks)-1]
+}
+
+// Touch promotes the block to MRU if present, without counting an access.
+func (c *Cache) Touch(block Addr) bool {
+	s := c.setFor(block)
+	i := s.find(block)
+	if i < 0 {
+		return false
+	}
+	b := s.blocks[i]
+	copy(s.blocks[i:], s.blocks[i+1:])
+	s.blocks[len(s.blocks)-1] = b
+	return true
+}
+
+// Insert fills the block at the given LRU-stack position, evicting the LRU
+// block if the set is full. The eviction hook fires before the new block is
+// placed. If the block is already resident, its state is updated in place
+// (pref/dirty are ORed in) without reordering the stack, and no eviction
+// occurs. Insert returns the evicted block, if any.
+func (c *Cache) Insert(block Addr, pos InsertPos, pref, dirty bool) *Evicted {
+	s := c.setFor(block)
+	if i := s.find(block); i >= 0 {
+		// Duplicate fill (e.g. prefetch raced a demand fill): merge state.
+		s.blocks[i].Dirty = s.blocks[i].Dirty || dirty
+		s.blocks[i].Pref = s.blocks[i].Pref || pref
+		return nil
+	}
+	var ev *Evicted
+	if len(s.blocks) == c.ways {
+		victim := s.blocks[0]
+		copy(s.blocks, s.blocks[1:])
+		s.blocks = s.blocks[:len(s.blocks)-1]
+		ev = &Evicted{Block: victim, ByPrefetch: pref}
+		if c.OnEvict != nil {
+			c.OnEvict(*ev)
+		}
+	}
+	depth := pos.Depth(c.ways)
+	if depth > len(s.blocks) {
+		depth = len(s.blocks)
+	}
+	nb := Block{Tag: block, Valid: true, Dirty: dirty, Pref: pref, DemandFill: !pref}
+	s.blocks = append(s.blocks, Block{})
+	copy(s.blocks[depth+1:], s.blocks[depth:])
+	s.blocks[depth] = nb
+	return ev
+}
+
+// Invalidate removes the block if present and returns its prior state.
+func (c *Cache) Invalidate(block Addr) (Block, bool) {
+	s := c.setFor(block)
+	i := s.find(block)
+	if i < 0 {
+		return Block{}, false
+	}
+	b := s.blocks[i]
+	copy(s.blocks[i:], s.blocks[i+1:])
+	s.blocks = s.blocks[:len(s.blocks)-1]
+	return b, true
+}
+
+// SetDirty marks the block dirty if present, reporting whether it was found.
+func (c *Cache) SetDirty(block Addr) bool {
+	if b := c.Lookup(block); b != nil {
+		b.Dirty = true
+		return true
+	}
+	return false
+}
+
+// Accesses returns the number of demand references seen by Access.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the number of demand references that missed.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// StackPositions returns, for testing, the block addresses of a set ordered
+// LRU to MRU. The set index is block&setMask of any resident address.
+func (c *Cache) StackPositions(setIndex int) []Addr {
+	s := &c.sets[setIndex]
+	out := make([]Addr, 0, len(s.blocks))
+	for _, b := range s.blocks {
+		if b.Valid {
+			out = append(out, b.Tag)
+		}
+	}
+	return out
+}
+
+// CountPref returns the number of resident blocks with the pref-bit set,
+// used by tests and the hardware-cost accounting.
+func (c *Cache) CountPref() int {
+	n := 0
+	for i := range c.sets {
+		for _, b := range c.sets[i].blocks {
+			if b.Valid && b.Pref {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,75 @@
+package cache
+
+// MSHREntry tracks one in-flight miss. The paper adds a pref-bit to each L2
+// MSHR entry: when a demand request hits an entry whose pref-bit is set,
+// the prefetch is late (Section 3.1.2).
+type MSHREntry struct {
+	Block Addr
+	// Pref is set while the in-flight request is still "a prefetch", i.e.
+	// no demand has asked for the block yet.
+	Pref bool
+	// DemandMerged is true once at least one demand request merged into
+	// this entry; the fill then completes those demands.
+	DemandMerged bool
+	// Waiters are completion callbacks for merged demand requests.
+	Waiters []func()
+	// Issued is true once the request has been handed to the bus queue.
+	Issued bool
+	// AllocCycle records when the entry was allocated (for tests/debug).
+	AllocCycle uint64
+}
+
+// MSHRFile models a fully associative miss-status holding register file
+// with merging: one entry per in-flight block.
+type MSHRFile struct {
+	cap     int
+	entries map[Addr]*MSHREntry
+	// peakUsed tracks the high-water mark for statistics.
+	peakUsed int
+}
+
+// NewMSHRFile creates an MSHR file with the given entry capacity.
+func NewMSHRFile(capacity int) *MSHRFile {
+	return &MSHRFile{cap: capacity, entries: make(map[Addr]*MSHREntry, capacity)}
+}
+
+// Lookup returns the in-flight entry for the block, or nil.
+func (m *MSHRFile) Lookup(block Addr) *MSHREntry { return m.entries[block] }
+
+// Full reports whether no further entries can be allocated.
+func (m *MSHRFile) Full() bool { return len(m.entries) >= m.cap }
+
+// Used returns the number of live entries.
+func (m *MSHRFile) Used() int { return len(m.entries) }
+
+// Peak returns the high-water mark of live entries.
+func (m *MSHRFile) Peak() int { return m.peakUsed }
+
+// Allocate creates an entry for the block. It returns nil when the file is
+// full or the block already has an entry (callers must Lookup first to
+// merge instead).
+func (m *MSHRFile) Allocate(block Addr, pref bool, cycle uint64) *MSHREntry {
+	if m.Full() {
+		return nil
+	}
+	if _, ok := m.entries[block]; ok {
+		return nil
+	}
+	e := &MSHREntry{Block: block, Pref: pref, AllocCycle: cycle}
+	m.entries[block] = e
+	if len(m.entries) > m.peakUsed {
+		m.peakUsed = len(m.entries)
+	}
+	return e
+}
+
+// Release removes the entry for the block (on fill) and returns it, or nil
+// if no entry existed.
+func (m *MSHRFile) Release(block Addr) *MSHREntry {
+	e, ok := m.entries[block]
+	if !ok {
+		return nil
+	}
+	delete(m.entries, block)
+	return e
+}

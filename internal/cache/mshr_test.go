@@ -1,0 +1,88 @@
+package cache
+
+import "testing"
+
+func TestMSHRAllocateLookupRelease(t *testing.T) {
+	m := NewMSHRFile(2)
+	e := m.Allocate(10, true, 100)
+	if e == nil || !e.Pref || e.AllocCycle != 100 {
+		t.Fatalf("Allocate = %+v", e)
+	}
+	if m.Lookup(10) != e {
+		t.Fatal("Lookup missed allocated entry")
+	}
+	if m.Lookup(11) != nil {
+		t.Fatal("Lookup hit absent entry")
+	}
+	if got := m.Release(10); got != e {
+		t.Fatal("Release returned wrong entry")
+	}
+	if m.Release(10) != nil {
+		t.Fatal("double Release returned an entry")
+	}
+	if m.Used() != 0 {
+		t.Fatalf("Used = %d after release", m.Used())
+	}
+}
+
+func TestMSHRFull(t *testing.T) {
+	m := NewMSHRFile(2)
+	m.Allocate(1, false, 0)
+	m.Allocate(2, false, 0)
+	if !m.Full() {
+		t.Fatal("not full at capacity")
+	}
+	if m.Allocate(3, false, 0) != nil {
+		t.Fatal("Allocate succeeded when full")
+	}
+	m.Release(1)
+	if m.Full() {
+		t.Fatal("still full after release")
+	}
+	if m.Allocate(3, false, 0) == nil {
+		t.Fatal("Allocate failed with space available")
+	}
+}
+
+func TestMSHRNoDuplicateAllocation(t *testing.T) {
+	m := NewMSHRFile(4)
+	if m.Allocate(5, false, 0) == nil {
+		t.Fatal("first Allocate failed")
+	}
+	if m.Allocate(5, true, 0) != nil {
+		t.Fatal("duplicate Allocate succeeded; callers must merge via Lookup")
+	}
+}
+
+func TestMSHRMergeSemantics(t *testing.T) {
+	// The FDP late-prefetch protocol: a demand finding a pref-bit entry
+	// clears the bit and merges a waiter.
+	m := NewMSHRFile(4)
+	e := m.Allocate(7, true, 0)
+	fired := 0
+	if got := m.Lookup(7); got != nil && got.Pref {
+		got.Pref = false
+		got.DemandMerged = true
+		got.Waiters = append(got.Waiters, func() { fired++ })
+	}
+	rel := m.Release(7)
+	for _, w := range rel.Waiters {
+		w()
+	}
+	if e.Pref || !e.DemandMerged || fired != 1 {
+		t.Fatalf("merge state: pref=%v merged=%v fired=%d", e.Pref, e.DemandMerged, fired)
+	}
+}
+
+func TestMSHRPeak(t *testing.T) {
+	m := NewMSHRFile(8)
+	for b := Addr(0); b < 5; b++ {
+		m.Allocate(b, false, 0)
+	}
+	for b := Addr(0); b < 5; b++ {
+		m.Release(b)
+	}
+	if m.Peak() != 5 {
+		t.Fatalf("Peak = %d, want 5", m.Peak())
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import "fmt"
+
+// HardwareCost itemizes the storage FDP adds to the baseline processor,
+// reproducing Table 6 of the paper.
+type HardwareCost struct {
+	CachePrefBits  int // one pref-bit per L2 tag-store entry
+	FilterBits     int // pollution filter bit-vector
+	CounterBits    int // feedback-metric counters
+	MSHRPrefBits   int // one pref-bit per L2 MSHR entry
+	TotalBits      int
+	TotalKB        float64
+	OverheadOfL2KB float64 // percent of the L2 data-store size
+}
+
+// The paper provisions eleven 16-bit counters: the five feedback counters
+// in both their decayed and in-interval halves, plus the eviction counter.
+const (
+	numCounters = 11
+	counterBits = 16
+)
+
+// CostFor computes Table 6 for a cache with the given number of blocks and
+// MSHR entries, a pollution filter of filterBits, and an L2 data store of
+// l2KB kilobytes.
+func CostFor(cacheBlocks, mshrEntries, filterBits int, l2KB float64) HardwareCost {
+	c := HardwareCost{
+		CachePrefBits: cacheBlocks,
+		FilterBits:    filterBits,
+		CounterBits:   numCounters * counterBits,
+		MSHRPrefBits:  mshrEntries,
+	}
+	c.TotalBits = c.CachePrefBits + c.FilterBits + c.CounterBits + c.MSHRPrefBits
+	c.TotalKB = float64(c.TotalBits) / 8 / 1024
+	if l2KB > 0 {
+		c.OverheadOfL2KB = 100 * c.TotalKB / l2KB
+	}
+	return c
+}
+
+// String renders the cost table.
+func (c HardwareCost) String() string {
+	return fmt.Sprintf(
+		"pref-bits (L2 tags): %d bits\npollution filter: %d bits\ncounters: %d bits\npref-bits (MSHRs): %d bits\ntotal: %d bits = %.2f KB (%.2f%% of L2)",
+		c.CachePrefBits, c.FilterBits, c.CounterBits, c.MSHRPrefBits,
+		c.TotalBits, c.TotalKB, c.OverheadOfL2KB)
+}

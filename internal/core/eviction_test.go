@@ -1,0 +1,40 @@
+package core
+
+import "testing"
+
+// TestUsedPrefetchEvictionDoesNotArmFilter pins the Section 3.1.3
+// distinction: a block brought in by a prefetch and later used by a demand
+// is a "useful" eviction (it advances the sampling interval) but it was
+// not demand-fetched, so its displacement by another prefetch must not be
+// recorded as pollution.
+func TestUsedPrefetchEvictionDoesNotArmFilter(t *testing.T) {
+	f := New(testConfig())
+	// used=true (demand touched it), demandFill=false (prefetch brought
+	// it in), byPrefetch=true (a prefetch displaced it).
+	f.OnEviction(7, true, false, true)
+	if f.OnDemandMiss(7) {
+		t.Fatal("used-prefetch eviction armed the pollution filter")
+	}
+	if f.evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (used victims advance the interval)", f.evictions)
+	}
+}
+
+// TestUnusedDemandFillEvictionArmsFilter: the canonical pollution event.
+func TestUnusedDemandFillEvictionArmsFilter(t *testing.T) {
+	f := New(testConfig())
+	f.OnEviction(9, true, true, true)
+	if !f.OnDemandMiss(9) {
+		t.Fatal("demand-filled victim displaced by prefetch not detected as pollution")
+	}
+}
+
+// TestDemandEvictionByDemandIsNotPollution: ordinary capacity pressure
+// between demand blocks is not the prefetcher's fault.
+func TestDemandEvictionByDemandIsNotPollution(t *testing.T) {
+	f := New(testConfig())
+	f.OnEviction(11, true, true, false)
+	if f.OnDemandMiss(11) {
+		t.Fatal("demand-on-demand eviction counted as pollution")
+	}
+}

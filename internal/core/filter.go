@@ -1,0 +1,78 @@
+package core
+
+// PollutionFilter is the Bloom-filter-style structure of Figure 4: a
+// 4096-bit vector indexed by the XOR of the low and high halves of the
+// cache-block address (blockAddr[11:0] XOR blockAddr[23:12]). A set bit
+// means "a demand-fetched block with this signature was evicted by a
+// prefetch"; prefetch fills clear the bit for their own address; a demand
+// miss that finds its bit set is attributed to prefetcher pollution.
+type PollutionFilter struct {
+	bits []uint64
+	mask uint64
+	hi   uint
+}
+
+// NewPollutionFilter creates a filter with the given number of bits (a
+// power of two; the paper uses 4096).
+func NewPollutionFilter(bits int) *PollutionFilter {
+	if bits <= 0 {
+		bits = 4096
+	}
+	if bits&(bits-1) != 0 {
+		panic("core: pollution filter size must be a power of two")
+	}
+	var shift uint
+	for v := bits; v > 1; v >>= 1 {
+		shift++
+	}
+	return &PollutionFilter{
+		bits: make([]uint64, bits/64),
+		mask: uint64(bits - 1),
+		hi:   shift,
+	}
+}
+
+// Size returns the filter size in bits.
+func (f *PollutionFilter) Size() int { return len(f.bits) * 64 }
+
+// index implements the paper's hash: low address bits XOR the next group
+// of higher-order bits.
+func (f *PollutionFilter) index(block uint64) uint64 {
+	return (block ^ (block >> f.hi)) & f.mask
+}
+
+// Set marks the signature of an evicted demand-fetched block.
+func (f *PollutionFilter) Set(block uint64) {
+	i := f.index(block)
+	f.bits[i>>6] |= 1 << (i & 63)
+}
+
+// Clear resets the signature when a prefetched block is inserted.
+func (f *PollutionFilter) Clear(block uint64) {
+	i := f.index(block)
+	f.bits[i>>6] &^= 1 << (i & 63)
+}
+
+// Test reports whether the block's signature bit is set.
+func (f *PollutionFilter) Test(block uint64) bool {
+	i := f.index(block)
+	return f.bits[i>>6]&(1<<(i&63)) != 0
+}
+
+// Reset clears the whole filter.
+func (f *PollutionFilter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+}
+
+// PopCount returns the number of set bits (for tests and debugging).
+func (f *PollutionFilter) PopCount() int {
+	n := 0
+	for _, w := range f.bits {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}

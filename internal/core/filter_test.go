@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFilterIndexMatchesPaper(t *testing.T) {
+	// Figure 4: index = blockAddr[11:0] XOR blockAddr[23:12] for the
+	// 4096-entry filter.
+	f := NewPollutionFilter(4096)
+	block := uint64(0xABC123)
+	want := (block & 0xFFF) ^ ((block >> 12) & 0xFFF)
+	if got := f.index(block); got != want {
+		t.Fatalf("index(%#x) = %#x, want %#x", block, got, want)
+	}
+}
+
+func TestFilterSetTestClear(t *testing.T) {
+	f := NewPollutionFilter(4096)
+	if f.Test(100) {
+		t.Fatal("fresh filter tested positive")
+	}
+	f.Set(100)
+	if !f.Test(100) {
+		t.Fatal("Set then Test negative")
+	}
+	f.Clear(100)
+	if f.Test(100) {
+		t.Fatal("Clear did not reset the bit")
+	}
+}
+
+func TestFilterAliasing(t *testing.T) {
+	// Two blocks whose low and high halves XOR to the same index alias —
+	// the approximation the paper accepts for a 0.5 KB structure.
+	f := NewPollutionFilter(4096)
+	a := uint64(0x000001)
+	b := uint64(0x001000) // low half 0, high half 1: same XOR index as a
+	if f.index(a) != f.index(b) {
+		t.Fatalf("expected aliasing: %#x vs %#x", f.index(a), f.index(b))
+	}
+	f.Set(a)
+	if !f.Test(b) {
+		t.Fatal("aliased block not detected")
+	}
+}
+
+func TestFilterResetAndPopCount(t *testing.T) {
+	f := NewPollutionFilter(4096)
+	for b := uint64(0); b < 100; b++ {
+		f.Set(b)
+	}
+	if f.PopCount() != 100 {
+		t.Fatalf("PopCount = %d, want 100 (distinct low bits)", f.PopCount())
+	}
+	f.Reset()
+	if f.PopCount() != 0 {
+		t.Fatalf("PopCount after Reset = %d", f.PopCount())
+	}
+}
+
+func TestFilterSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two size did not panic")
+		}
+	}()
+	NewPollutionFilter(1000)
+}
+
+func TestFilterDefaultSize(t *testing.T) {
+	if got := NewPollutionFilter(0).Size(); got != 4096 {
+		t.Fatalf("default size = %d, want 4096", got)
+	}
+}
+
+// TestFilterNoFalseNegatives: any block that was Set and not since Cleared
+// (directly or via an alias) must test positive.
+func TestFilterNoFalseNegatives(t *testing.T) {
+	f := func(blocks []uint64) bool {
+		pf := NewPollutionFilter(4096)
+		for _, b := range blocks {
+			pf.Set(b)
+			if !pf.Test(b) {
+				return false
+			}
+		}
+		for _, b := range blocks {
+			if !pf.Test(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import "fdpsim/internal/cache"
+
+// AccuracyClass buckets the measured prefetch accuracy against the A_high
+// and A_low thresholds.
+type AccuracyClass int
+
+// Accuracy classes.
+const (
+	AccLow AccuracyClass = iota
+	AccMedium
+	AccHigh
+)
+
+// String names the class.
+func (a AccuracyClass) String() string {
+	switch a {
+	case AccLow:
+		return "Low"
+	case AccMedium:
+		return "Medium"
+	}
+	return "High"
+}
+
+// CounterUpdate is the Dynamic Configuration Counter adjustment a Table 2
+// case prescribes.
+type CounterUpdate int
+
+// Counter updates.
+const (
+	Decrement CounterUpdate = -1
+	NoChange  CounterUpdate = 0
+	Increment CounterUpdate = +1
+)
+
+// String names the update.
+func (u CounterUpdate) String() string {
+	switch u {
+	case Decrement:
+		return "Decrement"
+	case Increment:
+		return "Increment"
+	}
+	return "No Change"
+}
+
+// PolicyCase identifies one of the twelve rows of Table 2.
+type PolicyCase struct {
+	Case      int // 1..12, the paper's numbering
+	Accuracy  AccuracyClass
+	Late      bool
+	Polluting bool
+	Update    CounterUpdate
+	Reason    string
+}
+
+// Table2 is the paper's complete aggressiveness-adjustment policy.
+var Table2 = []PolicyCase{
+	{1, AccHigh, true, false, Increment, "to increase timeliness"},
+	{2, AccHigh, true, true, Increment, "to increase timeliness"},
+	{3, AccHigh, false, false, NoChange, "best case configuration"},
+	{4, AccHigh, false, true, Decrement, "to reduce pollution"},
+	{5, AccMedium, true, false, Increment, "to increase timeliness"},
+	{6, AccMedium, true, true, Decrement, "to reduce pollution"},
+	{7, AccMedium, false, false, NoChange, "to keep the benefits of timely prefetches"},
+	{8, AccMedium, false, true, Decrement, "to reduce pollution"},
+	{9, AccLow, true, false, Decrement, "to save bandwidth"},
+	{10, AccLow, true, true, Decrement, "to reduce pollution"},
+	{11, AccLow, false, false, NoChange, "to keep the benefits of timely prefetches"},
+	{12, AccLow, false, true, Decrement, "to reduce pollution and save bandwidth"},
+}
+
+// LookupPolicy returns the Table 2 row for a classified interval.
+func LookupPolicy(acc AccuracyClass, late, polluting bool) PolicyCase {
+	for _, c := range Table2 {
+		if c.Accuracy == acc && c.Late == late && c.Polluting == polluting {
+			return c
+		}
+	}
+	// Unreachable: Table2 is total over the 3x2x2 domain.
+	panic("core: incomplete Table 2")
+}
+
+// InsertionFor maps the measured pollution to the Section 3.3.2 insertion
+// policy: low pollution inserts prefetched blocks at MID, medium at LRU-4,
+// high at LRU. (The paper's dynamic mechanism never uses MRU; see
+// footnote 9.)
+func InsertionFor(pollution, pLow, pHigh float64) cache.InsertPos {
+	switch {
+	case pollution < pLow:
+		return cache.PosMID
+	case pollution < pHigh:
+		return cache.PosLRU4
+	default:
+		return cache.PosLRU
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"fdpsim/internal/cache"
+)
+
+// TestTable2Complete checks the policy covers the full 3x2x2 domain with
+// the paper's case numbering intact.
+func TestTable2Complete(t *testing.T) {
+	if len(Table2) != 12 {
+		t.Fatalf("Table2 has %d cases, want 12", len(Table2))
+	}
+	seen := make(map[int]bool)
+	n := 1
+	for _, acc := range []AccuracyClass{AccHigh, AccMedium, AccLow} {
+		for _, late := range []bool{true, false} {
+			for _, poll := range []bool{false, true} {
+				c := LookupPolicy(acc, late, poll)
+				if seen[c.Case] {
+					t.Errorf("case %d returned twice", c.Case)
+				}
+				seen[c.Case] = true
+				if c.Case != n {
+					t.Errorf("LookupPolicy(%v,%v,%v) = case %d, want %d", acc, late, poll, c.Case, n)
+				}
+				n++
+			}
+		}
+	}
+}
+
+// TestTable2Updates pins every row to the paper's prescribed update.
+func TestTable2Updates(t *testing.T) {
+	want := map[int]CounterUpdate{
+		1: Increment, 2: Increment, 3: NoChange, 4: Decrement,
+		5: Increment, 6: Decrement, 7: NoChange, 8: Decrement,
+		9: Decrement, 10: Decrement, 11: NoChange, 12: Decrement,
+	}
+	for _, c := range Table2 {
+		if c.Update != want[c.Case] {
+			t.Errorf("case %d: update %v, want %v", c.Case, c.Update, want[c.Case])
+		}
+	}
+}
+
+// TestTable2PollutionAlwaysThrottles: every polluting case except the
+// high-accuracy-late one decrements (the paper's "all even-numbered cases"
+// observation).
+func TestTable2PollutionAlwaysThrottles(t *testing.T) {
+	for _, c := range Table2 {
+		if !c.Polluting {
+			continue
+		}
+		if c.Case == 2 {
+			if c.Update != Increment {
+				t.Errorf("case 2 must increment despite pollution")
+			}
+			continue
+		}
+		if c.Update != Decrement {
+			t.Errorf("polluting case %d does not decrement", c.Case)
+		}
+	}
+}
+
+func TestInsertionFor(t *testing.T) {
+	const pLow, pHigh = 0.10, 0.25
+	cases := []struct {
+		pollution float64
+		want      cache.InsertPos
+	}{
+		{0.0, cache.PosMID},
+		{0.09, cache.PosMID},
+		{0.10, cache.PosLRU4},
+		{0.24, cache.PosLRU4},
+		{0.25, cache.PosLRU},
+		{0.9, cache.PosLRU},
+	}
+	for _, tc := range cases {
+		if got := InsertionFor(tc.pollution, pLow, pHigh); got != tc.want {
+			t.Errorf("InsertionFor(%v) = %v, want %v", tc.pollution, got, tc.want)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if AccLow.String() != "Low" || AccMedium.String() != "Medium" || AccHigh.String() != "High" {
+		t.Error("AccuracyClass strings wrong")
+	}
+	if Increment.String() != "Increment" || Decrement.String() != "Decrement" || NoChange.String() != "No Change" {
+		t.Error("CounterUpdate strings wrong")
+	}
+}

@@ -1,0 +1,294 @@
+// Package cpu models the out-of-order execution core of the baseline
+// processor (Table 3): 8-wide dispatch and retire, a 128-entry reorder
+// buffer, a limited number of data-cache ports, loads that block
+// retirement until their data returns, and dependent loads that cannot
+// issue until their producer completes. Non-memory work is assumed fully
+// pipelined, so performance is governed — as in the paper — by the memory
+// behaviour of the instruction stream: independent misses overlap up to
+// the ROB/MSHR limits, dependent misses serialize.
+package cpu
+
+// Kind classifies a micro-op.
+type Kind uint8
+
+// Micro-op kinds.
+const (
+	Nop Kind = iota
+	Load
+	Store
+)
+
+// MicroOp is one instruction as seen by the timing model.
+type MicroOp struct {
+	Kind Kind
+	Addr uint64 // byte address, for loads and stores
+	PC   uint64 // program counter, used by the PC-indexed prefetchers
+	// Dep, when positive, makes this op's issue wait for the Dep-th most
+	// recent load (1 = immediately preceding load) to complete — the
+	// mechanism workloads use to express pointer-chasing dependence.
+	Dep int
+}
+
+// Source supplies an unbounded micro-op stream.
+type Source interface {
+	Name() string
+	Next() MicroOp
+}
+
+// MemFunc submits a memory access to the hierarchy. done must be invoked
+// when the data is available to the core; it is never called synchronously.
+type MemFunc func(addr, pc uint64, store bool, done func())
+
+// FetchFunc asks the hierarchy for the instruction block containing pc.
+// It returns true when the block is immediately available (an L1I hit —
+// fetch is pipelined, so no stall); on a miss it returns false and must
+// invoke done when the block arrives, at which point dispatch resumes.
+type FetchFunc func(pc uint64, done func()) bool
+
+// Config sizes the core.
+type Config struct {
+	Width     int // dispatch/retire width (8)
+	ROB       int // reorder buffer entries (128)
+	LoadPorts int // L1D load accesses per cycle (4)
+}
+
+// DefaultConfig returns the Table 3 core.
+func DefaultConfig() Config { return Config{Width: 8, ROB: 128, LoadPorts: 4} }
+
+type robEntry struct {
+	kind      Kind
+	addr      uint64
+	pc        uint64
+	completed bool
+	loadSeq   uint64 // this entry's load number, when kind == Load
+}
+
+// loadRing tracks completion of recent loads so dependents can resolve.
+// Slots are recycled; a slot holding a different sequence number than the
+// one queried refers to a load so old it must have completed.
+const loadRingSize = 4096
+
+// CPU is the core timing model. Tick once per cycle.
+type CPU struct {
+	cfg Config
+	src Source
+	mem MemFunc
+
+	rob        []robEntry
+	head, tail int
+	count      int
+
+	loadsDispatched uint64
+	ringSeq         [loadRingSize]uint64
+	ringDone        [loadRingSize]bool
+	ringWaiters     [loadRingSize][]int // ROB indices blocked on this load
+
+	readyQ []int // ROB indices of loads ready to issue
+
+	retired       uint64
+	retiredLoads  uint64
+	retiredStores uint64
+	dispatched    uint64
+
+	// stallROBFull counts cycles dispatch made no progress with a full ROB.
+	stallROBFull uint64
+
+	// Instruction-fetch state (active when fetch is non-nil): ops dispatch
+	// from the block at curFetchBlock; crossing into an uncached block
+	// stalls dispatch until the hierarchy delivers it. Ops without an
+	// explicit PC fetch sequentially after the previous instruction.
+	fetch          FetchFunc
+	pendingOp      MicroOp
+	havePending    bool
+	nextPC         uint64
+	curFetchBlock  uint64
+	fetchStalled   bool
+	stallFetch     uint64 // cycles dispatch was blocked on instruction fetch
+	fetchMissCount uint64
+}
+
+// New builds a core over the given micro-op source and memory interface.
+func New(cfg Config, src Source, mem MemFunc) *CPU {
+	if cfg.Width <= 0 {
+		cfg.Width = 8
+	}
+	if cfg.ROB <= 0 {
+		cfg.ROB = 128
+	}
+	if cfg.LoadPorts <= 0 {
+		cfg.LoadPorts = 4
+	}
+	return &CPU{cfg: cfg, src: src, mem: mem, rob: make([]robEntry, cfg.ROB)}
+}
+
+// Retired returns the number of retired micro-ops.
+func (c *CPU) Retired() uint64 { return c.retired }
+
+// RetiredLoads returns retired load count.
+func (c *CPU) RetiredLoads() uint64 { return c.retiredLoads }
+
+// RetiredStores returns retired store count.
+func (c *CPU) RetiredStores() uint64 { return c.retiredStores }
+
+// StallROBFull returns cycles in which a full ROB blocked all dispatch.
+func (c *CPU) StallROBFull() uint64 { return c.stallROBFull }
+
+// SetFetch enables instruction-fetch modeling through the given hierarchy
+// entry point. Must be called before the first Tick.
+func (c *CPU) SetFetch(f FetchFunc) { c.fetch = f }
+
+// StallFetch returns cycles in which dispatch was blocked waiting for an
+// instruction block.
+func (c *CPU) StallFetch() uint64 { return c.stallFetch }
+
+// FetchMisses returns how many instruction blocks stalled dispatch.
+func (c *CPU) FetchMisses() uint64 { return c.fetchMissCount }
+
+// Tick advances the core one cycle: retire, issue ready loads, dispatch.
+func (c *CPU) Tick() {
+	c.retire()
+	c.issue()
+	c.dispatch()
+}
+
+func (c *CPU) retire() {
+	for n := 0; n < c.cfg.Width && c.count > 0; n++ {
+		e := &c.rob[c.head]
+		if !e.completed {
+			break
+		}
+		switch e.kind {
+		case Load:
+			c.retiredLoads++
+		case Store:
+			c.retiredStores++
+		}
+		c.retired++
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+	}
+}
+
+func (c *CPU) issue() {
+	ports := c.cfg.LoadPorts
+	for ports > 0 && len(c.readyQ) > 0 {
+		idx := c.readyQ[0]
+		c.readyQ = c.readyQ[1:]
+		e := &c.rob[idx]
+		seq := e.loadSeq
+		c.mem(e.addr, e.pc, false, func() { c.completeLoad(idx, seq) })
+		ports--
+	}
+}
+
+func (c *CPU) dispatch() {
+	progressed := false
+	for n := 0; n < c.cfg.Width && c.count < len(c.rob); n++ {
+		if c.fetchStalled {
+			c.stallFetch++
+			break
+		}
+		if !c.havePending {
+			c.pendingOp = c.src.Next()
+			c.havePending = true
+		}
+		op := c.pendingOp
+		if c.fetch != nil && !c.tryFetch(op) {
+			c.stallFetch++
+			break // the op stays pending until its block arrives
+		}
+		c.havePending = false
+		idx := c.tail
+		e := &c.rob[idx]
+		*e = robEntry{kind: op.Kind, addr: op.Addr, pc: op.PC}
+		c.tail = (c.tail + 1) % len(c.rob)
+		c.count++
+		c.dispatched++
+		progressed = true
+
+		switch op.Kind {
+		case Nop:
+			e.completed = true
+		case Store:
+			// Stores complete into the store buffer immediately; the write
+			// traffic still flows through the hierarchy.
+			e.completed = true
+			c.mem(op.Addr, op.PC, true, nil)
+		case Load:
+			c.loadsDispatched++
+			seq := c.loadsDispatched
+			e.loadSeq = seq
+			slot := seq % loadRingSize
+			c.ringSeq[slot] = seq
+			c.ringDone[slot] = false
+			c.ringWaiters[slot] = c.ringWaiters[slot][:0]
+			if dep := c.depSeq(op.Dep, seq); dep != 0 && !c.loadComplete(dep) {
+				c.ringWaiters[dep%loadRingSize] = append(c.ringWaiters[dep%loadRingSize], idx)
+			} else {
+				c.readyQ = append(c.readyQ, idx)
+			}
+		}
+	}
+	if !progressed && c.count == len(c.rob) {
+		c.stallROBFull++
+	}
+}
+
+// tryFetch resolves the instruction block for op, returning false (and
+// arming the stall) when the block must come from the memory hierarchy.
+func (c *CPU) tryFetch(op MicroOp) bool {
+	fpc := op.PC
+	if fpc == 0 {
+		fpc = c.nextPC
+	}
+	fblock := fpc >> 6
+	if fblock == c.curFetchBlock {
+		c.nextPC = fpc + 4
+		return true
+	}
+	// A stalled attempt must not advance the sequential-PC cursor: the
+	// same op retries after the block arrives.
+	if c.fetch(fpc, func() { c.fetchStalled = false }) {
+		c.curFetchBlock = fblock
+		c.nextPC = fpc + 4
+		return true
+	}
+	c.curFetchBlock = fblock // the arriving block satisfies the retry
+	c.fetchMissCount++
+	c.fetchStalled = true
+	return false
+}
+
+// depSeq converts a relative dependence distance into an absolute load
+// sequence number; 0 means no dependence.
+func (c *CPU) depSeq(dep int, self uint64) uint64 {
+	if dep <= 0 {
+		return 0
+	}
+	if uint64(dep) >= self {
+		return 0
+	}
+	return self - uint64(dep)
+}
+
+// loadComplete reports whether load seq has completed. Loads whose ring
+// slot has been recycled are, by construction, long retired.
+func (c *CPU) loadComplete(seq uint64) bool {
+	slot := seq % loadRingSize
+	if c.ringSeq[slot] != seq {
+		return true
+	}
+	return c.ringDone[slot]
+}
+
+func (c *CPU) completeLoad(robIdx int, seq uint64) {
+	c.rob[robIdx].completed = true
+	slot := seq % loadRingSize
+	if c.ringSeq[slot] == seq {
+		c.ringDone[slot] = true
+		for _, w := range c.ringWaiters[slot] {
+			c.readyQ = append(c.readyQ, w)
+		}
+		c.ringWaiters[slot] = c.ringWaiters[slot][:0]
+	}
+}

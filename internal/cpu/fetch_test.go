@@ -1,0 +1,130 @@
+package cpu
+
+import "testing"
+
+// fetchModel simulates an L1I with a fixed miss latency: blocks become
+// resident after their first (stalling) fetch.
+type fetchModel struct {
+	resident map[uint64]bool
+	latency  int
+	pending  []struct {
+		left int
+		done func()
+	}
+	misses int
+}
+
+func (m *fetchModel) fetch(pc uint64, done func()) bool {
+	block := pc >> 6
+	if m.resident[block] {
+		return true
+	}
+	m.misses++
+	m.resident[block] = true
+	m.pending = append(m.pending, struct {
+		left int
+		done func()
+	}{m.latency, done})
+	return false
+}
+
+func (m *fetchModel) tick() {
+	var keep []struct {
+		left int
+		done func()
+	}
+	for _, p := range m.pending {
+		p.left--
+		if p.left <= 0 {
+			p.done()
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	m.pending = keep
+}
+
+// pcSource emits nops with explicit sequential PCs spanning many blocks.
+type pcSource struct{ pc uint64 }
+
+func (s *pcSource) Name() string { return "pcsource" }
+func (s *pcSource) Next() MicroOp {
+	op := MicroOp{Kind: Nop, PC: 0x1000 + s.pc}
+	s.pc += 4
+	return op
+}
+
+func TestFetchStallGatesDispatch(t *testing.T) {
+	fm := &fetchModel{resident: map[uint64]bool{}, latency: 50}
+	mem := &fixedMem{latency: 1}
+	c := New(DefaultConfig(), &pcSource{}, mem.access)
+	c.SetFetch(fm.fetch)
+	target := uint64(1600) // 100 blocks of 16 ops
+	var cycles uint64
+	for cycles = 0; c.Retired() < target && cycles < 100000; cycles++ {
+		mem.tick()
+		fm.tick()
+		c.Tick()
+	}
+	if c.Retired() < target {
+		t.Fatal("did not finish")
+	}
+	// 100 block misses at 50 cycles each, serialized: at least 5000 cycles.
+	if cycles < 5000 {
+		t.Fatalf("finished in %d cycles; fetch stalls not applied", cycles)
+	}
+	if c.FetchMisses() < 99 {
+		t.Fatalf("fetch misses = %d, want ~100", c.FetchMisses())
+	}
+	if c.StallFetch() == 0 {
+		t.Fatal("no fetch-stall cycles recorded")
+	}
+}
+
+func TestFetchHitsDoNotStall(t *testing.T) {
+	fm := &fetchModel{resident: map[uint64]bool{}, latency: 1}
+	// Pre-populate every block the source will touch.
+	for b := uint64(0); b < 4096; b++ {
+		fm.resident[b] = true
+	}
+	mem := &fixedMem{latency: 1}
+	c := New(DefaultConfig(), &pcSource{}, mem.access)
+	c.SetFetch(fm.fetch)
+	var cycles uint64
+	for cycles = 0; c.Retired() < 8000 && cycles < 10000; cycles++ {
+		mem.tick()
+		fm.tick()
+		c.Tick()
+	}
+	ipc := float64(c.Retired()) / float64(cycles)
+	if ipc < 7.5 {
+		t.Fatalf("IPC %.2f with resident code, want ~8", ipc)
+	}
+	if fm.misses != 0 || c.FetchMisses() != 0 {
+		t.Fatal("unexpected fetch misses")
+	}
+}
+
+func TestFetchSequentialDefaultPC(t *testing.T) {
+	// Ops without a PC fetch sequentially after the last explicit PC: a
+	// single mem op per 64 nops keeps resetting the cursor, so the code
+	// footprint stays tiny and fetch never misses beyond the first block.
+	fm := &fetchModel{resident: map[uint64]bool{}, latency: 10}
+	mem := &fixedMem{latency: 1}
+	src := &scriptSource{}
+	for i := 0; i < 100; i++ {
+		src.ops = append(src.ops, MicroOp{Kind: Load, Addr: uint64(i) * 8, PC: 0x400000})
+		src.ops = append(src.ops, nops(63)...)
+	}
+	c := New(DefaultConfig(), src, mem.access)
+	c.SetFetch(fm.fetch)
+	for cycles := 0; c.Retired() < 6000 && cycles < 50000; cycles++ {
+		mem.tick()
+		fm.tick()
+		c.Tick()
+	}
+	// 64 ops after PC 0x400000 span 5 blocks; all runs revisit them.
+	if fm.misses > 8 {
+		t.Fatalf("sequential-PC footprint leaked: %d distinct block misses", fm.misses)
+	}
+}

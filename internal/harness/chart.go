@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// RenderChart draws the table as horizontal ASCII bar groups, one group
+// per row, one bar per numeric column — a terminal rendition of the
+// paper's figures. Non-numeric cells (percent signs are accepted) are
+// skipped. width is the maximum bar length in characters.
+func (t *Table) RenderChart(w io.Writer, width int) {
+	if width <= 0 {
+		width = 48
+	}
+	fmt.Fprintf(w, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "  (%s)\n", t.Note)
+	}
+
+	// Find the global maximum across numeric cells for a shared scale.
+	max := 0.0
+	numeric := func(s string) (float64, bool) {
+		s = strings.TrimSuffix(strings.TrimSpace(s), "%")
+		v, err := strconv.ParseFloat(s, 64)
+		return v, err == nil && v >= 0
+	}
+	for _, row := range t.Rows {
+		for _, cell := range row[1:] {
+			if v, ok := numeric(cell); ok && v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		fmt.Fprintln(w, "  (no numeric data to chart)")
+		return
+	}
+
+	labelW := 0
+	for _, h := range t.Header[1:] {
+		if len(h) > labelW {
+			labelW = len(h)
+		}
+	}
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "%s\n", row[0])
+		for i, cell := range row[1:] {
+			v, ok := numeric(cell)
+			if !ok {
+				continue
+			}
+			n := int(v / max * float64(width))
+			name := ""
+			if i+1 < len(t.Header) {
+				name = t.Header[i+1]
+			}
+			fmt.Fprintf(w, "  %-*s |%s %s\n", labelW, name, strings.Repeat("#", n), strings.TrimSpace(cell))
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderChart(t *testing.T) {
+	tbl := Table{
+		Title:  "demo",
+		Header: []string{"workload", "NoPref", "FDP"},
+		Rows: [][]string{
+			{"a", "0.5", "1.0"},
+			{"b", "0.25", "not-a-number"},
+		},
+	}
+	var sb strings.Builder
+	tbl.RenderChart(&sb, 40)
+	out := sb.String()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("chart missing title")
+	}
+	// The maximum value gets the full bar width.
+	if !strings.Contains(out, strings.Repeat("#", 40)) {
+		t.Fatal("max value did not render a full-width bar")
+	}
+	// Half the maximum gets half the bar.
+	if !strings.Contains(out, "|"+strings.Repeat("#", 20)+" 0.5") {
+		t.Fatalf("half value misrendered:\n%s", out)
+	}
+	if strings.Contains(out, "not-a-number") {
+		t.Fatal("non-numeric cell charted")
+	}
+}
+
+func TestRenderChartPercentValues(t *testing.T) {
+	tbl := Table{
+		Title:  "pct",
+		Header: []string{"w", "acc"},
+		Rows:   [][]string{{"x", "50.0%"}},
+	}
+	var sb strings.Builder
+	tbl.RenderChart(&sb, 10)
+	if !strings.Contains(sb.String(), "50.0%") {
+		t.Fatal("percent cell not charted")
+	}
+}
+
+func TestRenderChartEmpty(t *testing.T) {
+	tbl := Table{Title: "empty", Header: []string{"w", "v"}, Rows: [][]string{{"x", "n/a"}}}
+	var sb strings.Builder
+	tbl.RenderChart(&sb, 10)
+	if !strings.Contains(sb.String(), "no numeric data") {
+		t.Fatal("empty chart not reported")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tbl := Table{
+		Title:  "csv demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"x", "1"}, {"y,z", "2"}},
+	}
+	var sb strings.Builder
+	if err := tbl.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# csv demo") || !strings.Contains(out, "a,b") {
+		t.Fatalf("csv header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `"y,z",2`) {
+		t.Fatalf("csv quoting wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,291 @@
+// Package mem models the off-chip memory system of the baseline processor
+// (Table 3 of the paper): a split-transaction memory bus with enforced
+// bandwidth, 32 DRAM banks with open-row buffers and bank-conflict timing,
+// bounded request queues, and demand-first scheduling in which prefetch
+// requests are given the lowest priority so they do not delay demand
+// load/store requests.
+package mem
+
+import (
+	"container/heap"
+
+	"fdpsim/internal/cache"
+)
+
+// Kind classifies a bus request.
+type Kind int
+
+// Request kinds in descending scheduling priority (writebacks drain last
+// unless their queue backs up).
+const (
+	Demand Kind = iota
+	Prefetch
+	Writeback
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Demand:
+		return "demand"
+	case Prefetch:
+		return "prefetch"
+	case Writeback:
+		return "writeback"
+	}
+	return "unknown"
+}
+
+// Request is one memory transaction for a single cache block.
+type Request struct {
+	Block cache.Addr
+	Kind  Kind
+	// Owner identifies the requesting core when several cores share the
+	// bus (multi-core mode); 0 otherwise.
+	Owner int
+	// WasPrefetch stays true across a late-prefetch promotion to demand
+	// priority, so the bus-level prefetch accounting survives promotion.
+	WasPrefetch bool
+	Done        func(r *Request) // called when data is on-chip; nil for writebacks
+	Enqueued    uint64
+	Started     uint64 // cycle the request won the command bus
+	Finished    uint64 // cycle the data transfer completed
+	bank        int
+	row         uint64
+}
+
+// Latency returns end-to-end cycles from enqueue to completion.
+func (r *Request) Latency() uint64 { return r.Finished - r.Enqueued }
+
+// Config holds the DRAM and bus timing parameters. The defaults reproduce
+// the paper's 500-cycle minimum main-memory latency and 4.5 GB/s bus at a
+// 4 GHz core clock (64 B / 4.5 GB/s ≈ 57 core cycles of data-bus occupancy
+// per block).
+type Config struct {
+	Banks        int    // number of DRAM banks (power of two)
+	BlocksPerRow int    // row-buffer size in cache blocks (power of two)
+	CmdLatency   uint64 // fixed command/decode latency before the bank access
+	RowHit       uint64 // access latency when the open row matches
+	RowConflict  uint64 // access latency on a row-buffer conflict
+	// BusyHit/BusyConflict are how long the access occupies the bank
+	// (blocking other requests to it) — much shorter than the end-to-end
+	// latency, which includes command and wire time.
+	BusyHit      uint64
+	BusyConflict uint64
+	Transfer     uint64 // data-bus occupancy per block (bandwidth limit)
+	QueueCap     int    // per-kind request queue capacity
+	ScanWindow   int    // how deep the scheduler looks past the queue head
+}
+
+// DefaultConfig returns the Table 3 baseline memory system.
+func DefaultConfig() Config {
+	return Config{
+		Banks:        32,
+		BlocksPerRow: 128, // 8 KB rows of 64 B blocks
+		CmdLatency:   36,
+		RowHit:       397, // 36+397+57 = 490 + L2 lookup ≈ 500-cycle minimum
+		RowConflict:  517,
+		BusyHit:      24,  // a CAS burst
+		BusyConflict: 160, // precharge + activate (tRC at 4 GHz)
+		Transfer:     57,  // 64 B at 4.5 GB/s on a 4 GHz clock
+		QueueCap:     128,
+		ScanWindow:   16,
+	}
+}
+
+type bank struct {
+	freeAt  uint64
+	openRow uint64
+	hasOpen bool
+}
+
+// completion heap ordered by finish cycle.
+type completionHeap []*Request
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].Finished < h[j].Finished }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(*Request)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// Stats counts bus-level activity.
+type Stats struct {
+	Started   [3]uint64 // requests that won the bus, by kind
+	Dropped   [3]uint64 // enqueue rejections (queue full), by kind
+	RowHits   uint64
+	RowMisses uint64
+	// LatencySum/LatencyCount give average demand latency.
+	DemandLatencySum uint64
+	DemandCount      uint64
+}
+
+// DRAM is the memory-system model. The owner enqueues requests and calls
+// Tick once per core cycle; completions fire the request's Done callback.
+type DRAM struct {
+	cfg       Config
+	bankMask  uint64
+	bankShift uint
+	rowShift  uint
+	banks     []bank
+	queues    [numKinds][]*Request
+	busFreeAt uint64
+	pending   completionHeap
+	// OnStart fires when a request wins the command bus — the paper's
+	// "goes out on the bus" moment used to count sent prefetches.
+	OnStart func(r *Request)
+	stats   Stats
+}
+
+// New constructs a DRAM model from the configuration.
+func New(cfg Config) *DRAM {
+	if cfg.Banks <= 0 || cfg.Banks&(cfg.Banks-1) != 0 {
+		panic("mem: bank count must be a positive power of two")
+	}
+	if cfg.BlocksPerRow <= 0 || cfg.BlocksPerRow&(cfg.BlocksPerRow-1) != 0 {
+		panic("mem: blocks per row must be a positive power of two")
+	}
+	d := &DRAM{cfg: cfg, banks: make([]bank, cfg.Banks)}
+	d.bankMask = uint64(cfg.Banks - 1)
+	for v := cfg.Banks; v > 1; v >>= 1 {
+		d.bankShift++
+	}
+	for v := cfg.BlocksPerRow; v > 1; v >>= 1 {
+		d.rowShift++
+	}
+	if cfg.ScanWindow <= 0 {
+		d.cfg.ScanWindow = 1
+	}
+	return d
+}
+
+// Config returns the timing configuration in use.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of bus-level statistics.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// QueueLen returns the occupancy of the queue for the given kind.
+func (d *DRAM) QueueLen(k Kind) int { return len(d.queues[k]) }
+
+// CanEnqueue reports whether a request of the given kind would be accepted.
+func (d *DRAM) CanEnqueue(k Kind) bool { return len(d.queues[k]) < d.cfg.QueueCap }
+
+// Enqueue admits a request into its priority queue, stamping arrival at the
+// given cycle. It returns false (and drops the request) when the queue is
+// full; callers decide whether to retry.
+func (d *DRAM) Enqueue(r *Request, cycle uint64) bool {
+	if len(d.queues[r.Kind]) >= d.cfg.QueueCap {
+		d.stats.Dropped[r.Kind]++
+		return false
+	}
+	r.Enqueued = cycle
+	r.bank = int(r.Block & d.bankMask)
+	r.row = (r.Block >> d.bankShift) >> d.rowShift
+	d.queues[r.Kind] = append(d.queues[r.Kind], r)
+	return true
+}
+
+// Promote upgrades an in-queue prefetch for the block to demand priority,
+// reporting whether the request was found (it may already have started).
+func (d *DRAM) Promote(block cache.Addr) bool {
+	q := d.queues[Prefetch]
+	for i, r := range q {
+		if r.Block == block {
+			d.queues[Prefetch] = append(q[:i], q[i+1:]...)
+			r.Kind = Demand
+			d.queues[Demand] = append(d.queues[Demand], r)
+			return true
+		}
+	}
+	return false
+}
+
+// Busy reports whether any request is queued or in flight.
+func (d *DRAM) Busy() bool {
+	return len(d.pending) > 0 ||
+		len(d.queues[Demand]) > 0 || len(d.queues[Prefetch]) > 0 || len(d.queues[Writeback]) > 0
+}
+
+// Tick advances the model to the given cycle: it starts at most one new
+// bank access (command-bus limit) and fires Done for every transfer that
+// has completed by this cycle.
+func (d *DRAM) Tick(cycle uint64) {
+	d.schedule(cycle)
+	for len(d.pending) > 0 && d.pending[0].Finished <= cycle {
+		r := heap.Pop(&d.pending).(*Request)
+		if r.Kind == Demand {
+			d.stats.DemandLatencySum += r.Latency()
+			d.stats.DemandCount++
+		}
+		if r.Done != nil {
+			r.Done(r)
+		}
+	}
+}
+
+// order decides the scan order of the queues. Writebacks normally drain
+// last, but once their queue is more than half full they are promoted ahead
+// of prefetches so stores cannot back up indefinitely.
+func (d *DRAM) order() [numKinds]Kind {
+	if len(d.queues[Writeback]) > d.cfg.QueueCap/2 {
+		return [numKinds]Kind{Demand, Writeback, Prefetch}
+	}
+	return [numKinds]Kind{Demand, Prefetch, Writeback}
+}
+
+func (d *DRAM) schedule(cycle uint64) {
+	for _, k := range d.order() {
+		q := d.queues[k]
+		window := d.cfg.ScanWindow
+		if window > len(q) {
+			window = len(q)
+		}
+		for i := 0; i < window; i++ {
+			r := q[i]
+			if r.Enqueued+d.cfg.CmdLatency > cycle {
+				break // FIFO within a queue: later entries arrived later
+			}
+			b := &d.banks[r.bank]
+			if b.freeAt > cycle {
+				continue
+			}
+			d.start(r, cycle)
+			d.queues[k] = append(q[:i], q[i+1:]...)
+			return // one command per cycle
+		}
+	}
+}
+
+func (d *DRAM) start(r *Request, cycle uint64) {
+	b := &d.banks[r.bank]
+	latency, busy := d.cfg.RowConflict, d.cfg.BusyConflict
+	if b.hasOpen && b.openRow == r.row {
+		latency, busy = d.cfg.RowHit, d.cfg.BusyHit
+		d.stats.RowHits++
+	} else {
+		d.stats.RowMisses++
+	}
+	b.openRow = r.row
+	b.hasOpen = true
+	b.freeAt = cycle + busy
+	xferStart := cycle + latency
+	if d.busFreeAt > xferStart {
+		xferStart = d.busFreeAt
+	}
+	d.busFreeAt = xferStart + d.cfg.Transfer
+	r.Started = cycle
+	r.Finished = xferStart + d.cfg.Transfer
+	d.stats.Started[r.Kind]++
+	if d.OnStart != nil {
+		d.OnStart(r)
+	}
+	heap.Push(&d.pending, r)
+}

@@ -1,0 +1,107 @@
+package prefetch
+
+// Adaptive sequential prefetching after Dahlgren, Dubois & Stenström, the
+// closest prior work the paper discusses (Section 6.1): a sequential
+// prefetcher whose degree is adapted by accuracy alone. Two counters track
+// prefetches sent and prefetches used; when the sent counter saturates,
+// the useful fraction is compared against static thresholds to double or
+// halve the prefetch degree. The paper's critique — and the Section 5.6
+// ablation — is that accuracy-only feedback ignores timeliness and
+// pollution; this implementation exists to reproduce that comparison.
+
+// Dahlgren counter window and degree bounds.
+const (
+	dahlgrenWindow    = 256
+	dahlgrenMaxDegree = 16
+)
+
+// DahlgrenPrefetcher implements Prefetcher. SetLevel seeds the starting
+// degree; afterwards the prefetcher self-adapts, so FDP-style external
+// throttling is intentionally a no-op once running (Level reports the
+// equivalent Table 1 level for observability).
+type DahlgrenPrefetcher struct {
+	degree   int
+	sent     int
+	used     int
+	high     float64
+	low      float64
+	maxBlock uint64
+	adapted  uint64 // adaptation events, for tests/stats
+}
+
+// NewDahlgren creates the adaptive sequential prefetcher with the given
+// accuracy thresholds (0.75/0.40 mirror the FDP accuracy bands).
+func NewDahlgren(high, low float64) *DahlgrenPrefetcher {
+	if high <= 0 {
+		high = 0.75
+	}
+	if low <= 0 {
+		low = 0.40
+	}
+	return &DahlgrenPrefetcher{degree: 2, high: high, low: low, maxBlock: 1 << 58}
+}
+
+// Name implements Prefetcher.
+func (p *DahlgrenPrefetcher) Name() string { return "dahlgren" }
+
+// SetLevel seeds the degree from the Table 1 ladder.
+func (p *DahlgrenPrefetcher) SetLevel(level int) {
+	p.degree = StreamLevels[clampLevel(level)].Degree
+}
+
+// Level reports the closest Table 1 level for the current degree.
+func (p *DahlgrenPrefetcher) Level() int {
+	switch {
+	case p.degree <= 1:
+		return 1
+	case p.degree <= 2:
+		return 3
+	default:
+		return 5
+	}
+}
+
+// Degree returns the current adaptive degree.
+func (p *DahlgrenPrefetcher) Degree() int { return p.degree }
+
+// Adaptations returns how many times the degree was re-evaluated.
+func (p *DahlgrenPrefetcher) Adaptations() uint64 { return p.adapted }
+
+// Observe implements Prefetcher: misses trigger sequential prefetches;
+// first demand uses of prefetched blocks (PrefHit) count as useful.
+func (p *DahlgrenPrefetcher) Observe(ev Event) []uint64 {
+	if ev.PrefHit {
+		p.used++
+	}
+	if !ev.Miss {
+		return nil
+	}
+	out := make([]uint64, 0, p.degree)
+	for i := 1; i <= p.degree; i++ {
+		a := ev.Block + uint64(i)
+		if a > p.maxBlock {
+			break
+		}
+		out = append(out, a)
+	}
+	p.sent += len(out)
+	if p.sent >= dahlgrenWindow {
+		p.adapt()
+	}
+	return out
+}
+
+// adapt applies the counter-saturation rule: double the degree when the
+// useful fraction is high, halve it when low.
+func (p *DahlgrenPrefetcher) adapt() {
+	frac := float64(p.used) / float64(p.sent)
+	switch {
+	case frac >= p.high && p.degree < dahlgrenMaxDegree:
+		p.degree *= 2
+	case frac < p.low && p.degree > 1:
+		p.degree /= 2
+	}
+	p.sent = 0
+	p.used = 0
+	p.adapted++
+}

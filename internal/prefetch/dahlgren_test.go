@@ -1,0 +1,135 @@
+package prefetch
+
+import "testing"
+
+func TestDahlgrenSequentialDegree(t *testing.T) {
+	p := NewDahlgren(0.75, 0.40)
+	out := p.Observe(Event{Block: 100, Miss: true})
+	if len(out) != 2 || out[0] != 101 || out[1] != 102 {
+		t.Fatalf("initial degree-2 prefetches = %v", out)
+	}
+	if p.Observe(Event{Block: 200}) != nil {
+		t.Fatal("hit without PrefHit triggered prefetches")
+	}
+}
+
+func TestDahlgrenGrowsOnHighAccuracy(t *testing.T) {
+	p := NewDahlgren(0.75, 0.40)
+	start := p.Degree()
+	// Every prefetch is used: degree must double at the window boundary.
+	for i := 0; p.Adaptations() == 0 && i < 10000; i++ {
+		for _, blk := range p.Observe(Event{Block: uint64(i * 100), Miss: true}) {
+			p.Observe(Event{Block: blk, PrefHit: true})
+		}
+	}
+	if p.Degree() != start*2 {
+		t.Fatalf("degree = %d after accurate window, want %d", p.Degree(), start*2)
+	}
+}
+
+func TestDahlgrenShrinksOnLowAccuracy(t *testing.T) {
+	p := NewDahlgren(0.75, 0.40)
+	// No prefetch is ever used: degree must halve to the floor of 1.
+	for i := 0; p.Degree() > 1 && i < 10000; i++ {
+		p.Observe(Event{Block: uint64(i * 1000), Miss: true})
+	}
+	if p.Degree() != 1 {
+		t.Fatalf("degree = %d after useless windows, want 1", p.Degree())
+	}
+	if p.Adaptations() == 0 {
+		t.Fatal("no adaptations recorded")
+	}
+}
+
+func TestDahlgrenDegreeCap(t *testing.T) {
+	p := NewDahlgren(0.75, 0.40)
+	for i := 0; i < 50000 && p.Degree() < dahlgrenMaxDegree; i++ {
+		for _, blk := range p.Observe(Event{Block: uint64(i * 100), Miss: true}) {
+			p.Observe(Event{Block: blk, PrefHit: true})
+		}
+	}
+	if p.Degree() != dahlgrenMaxDegree {
+		t.Fatalf("degree = %d, want cap %d", p.Degree(), dahlgrenMaxDegree)
+	}
+	// Further accurate windows must not exceed the cap.
+	for i := 0; i < 1000; i++ {
+		for _, blk := range p.Observe(Event{Block: uint64(1<<30 + i*100), Miss: true}) {
+			p.Observe(Event{Block: blk, PrefHit: true})
+		}
+	}
+	if p.Degree() > dahlgrenMaxDegree {
+		t.Fatalf("degree %d exceeded cap", p.Degree())
+	}
+}
+
+func TestDahlgrenSetLevelSeedsDegree(t *testing.T) {
+	p := NewDahlgren(0, 0)
+	p.SetLevel(5)
+	if p.Degree() != StreamLevels[5].Degree {
+		t.Fatalf("degree = %d", p.Degree())
+	}
+	if p.Level() != 5 && p.Level() != 3 && p.Level() != 1 {
+		t.Fatalf("level = %d out of domain", p.Level())
+	}
+	if p.Name() != "dahlgren" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestHybridMergesEngines(t *testing.T) {
+	p := NewHybrid(16, 64)
+	p.SetLevel(3)
+	if p.Name() != "hybrid" || p.Level() != 3 {
+		t.Fatal("hybrid identity wrong")
+	}
+	// Train the stream engine with PC-less misses.
+	missAt(p, 1000)
+	missAt(p, 1001)
+	if out := missAt(p, 1002); len(out) == 0 {
+		t.Fatal("hybrid stream engine silent after training")
+	}
+	// Train the stride engine on a large stride the stream engine rejects.
+	const pc = 0x7000
+	p.Observe(Event{Block: 50000, PC: pc, Miss: true})
+	p.Observe(Event{Block: 50100, PC: pc, Miss: true})
+	out := p.Observe(Event{Block: 50200, PC: pc, Miss: true})
+	found := false
+	for _, b := range out {
+		if b == 50300 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hybrid stride engine missing from merged output %v", out)
+	}
+}
+
+func TestHybridDeduplicates(t *testing.T) {
+	p := NewHybrid(16, 64)
+	p.SetLevel(5)
+	// Unit-stride with a PC trains both engines on the same addresses.
+	const pc = 0x8000
+	var out []uint64
+	for i := uint64(0); i < 6; i++ {
+		out = p.Observe(Event{Block: 9000 + i, PC: pc, Miss: true})
+	}
+	seen := make(map[uint64]bool)
+	for _, b := range out {
+		if seen[b] {
+			t.Fatalf("duplicate prefetch %d in %v", b, out)
+		}
+		seen[b] = true
+	}
+}
+
+func TestHybridThrottlesBothEngines(t *testing.T) {
+	p := NewHybrid(16, 64)
+	p.SetLevel(1)
+	if p.stream.Level() != 1 || p.stride.Level() != 1 {
+		t.Fatal("SetLevel did not reach both engines")
+	}
+	p.SetLevel(9)
+	if p.Level() != 5 {
+		t.Fatal("clamp failed")
+	}
+}

@@ -1,0 +1,59 @@
+package prefetch
+
+// HybridPrefetcher composes a stream and a PC-stride prefetcher, the kind
+// of multi-engine arrangement the paper's Section 6 cites as "hybrid
+// prefetching systems". Both engines observe every demand access; their
+// requests are merged with duplicates removed (stream first, since its
+// requests carry run-ahead distance). FDP throttles both engines through
+// the shared five-level scale.
+type HybridPrefetcher struct {
+	stream *StreamPrefetcher
+	stride *StridePrefetcher
+	level  int
+}
+
+// NewHybrid creates a stream+stride hybrid with the given stream tracker
+// and stride table sizes.
+func NewHybrid(streams, strideEntries int) *HybridPrefetcher {
+	return &HybridPrefetcher{
+		stream: NewStream(streams),
+		stride: NewStride(strideEntries),
+		level:  3,
+	}
+}
+
+// Name implements Prefetcher.
+func (p *HybridPrefetcher) Name() string { return "hybrid" }
+
+// SetLevel implements Prefetcher, throttling both engines.
+func (p *HybridPrefetcher) SetLevel(level int) {
+	p.level = clampLevel(level)
+	p.stream.SetLevel(p.level)
+	p.stride.SetLevel(p.level)
+}
+
+// Level implements Prefetcher.
+func (p *HybridPrefetcher) Level() int { return p.level }
+
+// Observe implements Prefetcher.
+func (p *HybridPrefetcher) Observe(ev Event) []uint64 {
+	a := p.stream.Observe(ev)
+	b := p.stride.Observe(ev)
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	seen := make(map[uint64]bool, len(a)+len(b))
+	out := make([]uint64, 0, len(a)+len(b))
+	for _, blocks := range [2][]uint64{a, b} {
+		for _, blk := range blocks {
+			if !seen[blk] {
+				seen[blk] = true
+				out = append(out, blk)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package prefetch
+
+// Tagged next-sequential prefetcher, the classic design the paper cites as
+// already employing pref-bits ([5, 21], Section 3.1.1) and the substrate
+// of Dahlgren et al.'s adaptive sequential prefetching discussed in the
+// related work. A demand miss, or the first demand use of a prefetched
+// block (the "tag" event), prefetches the next Degree sequential blocks.
+
+// NextLinePrefetcher implements Prefetcher.
+type NextLinePrefetcher struct {
+	level    int
+	maxBlock uint64
+}
+
+// NewNextLine creates a tagged next-sequential prefetcher.
+func NewNextLine() *NextLinePrefetcher {
+	return &NextLinePrefetcher{level: 3, maxBlock: 1 << 58}
+}
+
+// Name implements Prefetcher.
+func (p *NextLinePrefetcher) Name() string { return "nextline" }
+
+// SetLevel implements Prefetcher.
+func (p *NextLinePrefetcher) SetLevel(level int) { p.level = clampLevel(level) }
+
+// Level implements Prefetcher.
+func (p *NextLinePrefetcher) Level() int { return p.level }
+
+// Degree returns the sequential depth at the current level.
+func (p *NextLinePrefetcher) Degree() int { return StreamLevels[p.level].Degree * 2 }
+
+// Observe implements Prefetcher.
+func (p *NextLinePrefetcher) Observe(ev Event) []uint64 {
+	if !ev.Miss && !ev.PrefHit {
+		return nil
+	}
+	degree := p.Degree()
+	out := make([]uint64, 0, degree)
+	for i := 1; i <= degree; i++ {
+		a := ev.Block + uint64(i)
+		if a > p.maxBlock {
+			break
+		}
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+// Package prefetch implements the hardware data prefetchers studied in the
+// paper: the IBM POWER4-style stream prefetcher (Section 2.1), the GHB
+// C/DC delta-correlation prefetcher (Section 5.7), the PC-based stride
+// prefetcher (Section 5.8) and a tagged next-sequential prefetcher used as
+// a related-work baseline. All prefetchers expose the five-level
+// aggressiveness scale of Table 1 so FDP can throttle them uniformly.
+package prefetch
+
+import "fmt"
+
+// Event describes one demand access observed at the L2 cache. Prefetchers
+// receive every demand access; each decides which events train it.
+type Event struct {
+	Block uint64 // cache-block address
+	PC    uint64 // program counter of the load/store
+	Miss  bool   // the access missed in the L2
+	// PrefHit is true when the access hit a block whose pref-bit was still
+	// set — the first demand use of a prefetched block (used by tagged
+	// next-sequential prefetching).
+	PrefHit bool
+}
+
+// Prefetcher is the interface the memory hierarchy drives. Observe returns
+// the block addresses to prefetch in issue order; the owner applies queue
+// limits and cache/MSHR filtering.
+type Prefetcher interface {
+	Name() string
+	Observe(ev Event) []uint64
+	// SetLevel selects an aggressiveness level 1 (very conservative) to 5
+	// (very aggressive); out-of-range values are clamped.
+	SetLevel(level int)
+	Level() int
+}
+
+// AggressivenessLevel bounds.
+const (
+	MinLevel = 1
+	MaxLevel = 5
+)
+
+// LevelName returns the paper's name for a Dynamic Configuration Counter
+// value (Table 1).
+func LevelName(level int) string {
+	switch level {
+	case 1:
+		return "Very Conservative"
+	case 2:
+		return "Conservative"
+	case 3:
+		return "Middle-of-the-Road"
+	case 4:
+		return "Aggressive"
+	case 5:
+		return "Very Aggressive"
+	}
+	return fmt.Sprintf("Level%d", level)
+}
+
+// StreamLevel is one row of Table 1: the (Prefetch Distance, Prefetch
+// Degree) pair a Dynamic Configuration Counter value selects for the
+// stream prefetcher.
+type StreamLevel struct {
+	Distance int
+	Degree   int
+}
+
+// StreamLevels is Table 1 of the paper. Index 0 is unused so the table is
+// addressed directly by counter value 1..5.
+var StreamLevels = [MaxLevel + 1]StreamLevel{
+	1: {Distance: 4, Degree: 1},
+	2: {Distance: 8, Degree: 1},
+	3: {Distance: 16, Degree: 2},
+	4: {Distance: 32, Degree: 4},
+	5: {Distance: 64, Degree: 4},
+}
+
+// GHBDegrees is the Section 5.7 aggressiveness table for the GHB C/DC
+// prefetcher, where distance and degree are the same parameter. The OCR of
+// the paper lost the numeric column; this doubling ladder ending in a
+// deeply aggressive degree mirrors the stream table's range and is flagged
+// as a reconstruction in DESIGN.md.
+var GHBDegrees = [MaxLevel + 1]int{1: 2, 2: 4, 3: 8, 4: 16, 5: 32}
+
+func clampLevel(level int) int {
+	if level < MinLevel {
+		return MinLevel
+	}
+	if level > MaxLevel {
+		return MaxLevel
+	}
+	return level
+}

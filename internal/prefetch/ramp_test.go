@@ -1,0 +1,68 @@
+package prefetch
+
+import "testing"
+
+func TestRampStartsConservative(t *testing.T) {
+	s := NewStream(16)
+	s.SetLevel(5)
+	s.SetPerStreamRamp(true)
+	missAt(s, 100)
+	missAt(s, 101)
+	out := missAt(s, 102) // training completes; entry has earned nothing yet
+	if len(out) != 1 {
+		t.Fatalf("ramping entry issued %d prefetches at birth, want degree 1", len(out))
+	}
+}
+
+func TestRampEarnsAggressiveness(t *testing.T) {
+	s := NewStream(16)
+	s.SetLevel(5)
+	s.SetPerStreamRamp(true)
+	missAt(s, 100)
+	missAt(s, 101)
+	missAt(s, 102)
+	var last []uint64
+	for b := uint64(103); b < 160; b++ {
+		if out := s.Observe(Event{Block: b}); len(out) > 0 {
+			last = out
+		}
+	}
+	// After 32+ region accesses the entry reaches the global level
+	// (degree 4 at Very Aggressive).
+	if len(last) != 4 {
+		t.Fatalf("ramped entry issues %d prefetches, want the global degree 4", len(last))
+	}
+}
+
+func TestRampCappedByGlobalLevel(t *testing.T) {
+	s := NewStream(16)
+	s.SetLevel(1) // global cap: Very Conservative
+	s.SetPerStreamRamp(true)
+	missAt(s, 100)
+	missAt(s, 101)
+	missAt(s, 102)
+	for b := uint64(103); b < 200; b++ {
+		if out := s.Observe(Event{Block: b}); len(out) > 1 {
+			t.Fatalf("entry exceeded the global degree cap: %v", out)
+		}
+	}
+}
+
+func TestRampOffMatchesGlobal(t *testing.T) {
+	mk := func(ramp bool) []uint64 {
+		s := NewStream(16)
+		s.SetLevel(4)
+		s.SetPerStreamRamp(ramp)
+		missAt(s, 100)
+		missAt(s, 101)
+		var out []uint64
+		out = missAt(s, 102)
+		return out
+	}
+	if got := mk(false); len(got) != 4 {
+		t.Fatalf("non-ramped fresh entry degree = %d, want 4", len(got))
+	}
+	if got := mk(true); len(got) != 1 {
+		t.Fatalf("ramped fresh entry degree = %d, want 1", len(got))
+	}
+}

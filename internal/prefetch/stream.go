@@ -1,0 +1,251 @@
+package prefetch
+
+// Stream prefetcher modeled on the IBM POWER4 design as described in
+// Section 2.1 of the paper. It tracks up to 64 concurrent access streams.
+// Each tracking entry walks a four-state machine:
+//
+//	Invalid -> Allocated (on a demand L2 miss with no covering entry)
+//	Allocated -> Training (direction votes from subsequent nearby misses)
+//	Training -> Monitor and Request (two consistent direction votes)
+//
+// In Monitor and Request, a demand access anywhere in the monitored region
+// [start..end] issues Degree prefetches past the end pointer and slides the
+// region forward, keeping the prefetcher Distance blocks ahead of the
+// demand stream.
+
+// Stream tracking entry states.
+const (
+	streamInvalid = iota
+	streamAllocated
+	streamTraining
+	streamMonitor
+)
+
+// trainWindow is the paper's +/-16-block window for associating misses
+// with a training entry.
+const trainWindow = 16
+
+// startupDistance is how far past the last training miss the end pointer
+// is initialized ("plus an initial start-up distance", footnote 5).
+const startupDistance = 2
+
+type streamEntry struct {
+	state    int
+	dir      int64 // +1 ascending, -1 descending
+	first    int64 // miss address that allocated the entry
+	last     int64 // most recent training miss
+	votes    int   // consecutive consistent direction votes
+	start    int64 // monitored region start pointer (address A)
+	end      int64 // monitored region end pointer (address P)
+	lastUsed uint64
+	// accesses counts demand accesses serviced by this entry's monitored
+	// region, the per-stream confidence used by the ramping mode.
+	accesses uint64
+}
+
+// StreamPrefetcher implements Prefetcher.
+type StreamPrefetcher struct {
+	entries []streamEntry
+	level   int
+	tick    uint64
+	// ramp enables per-stream adaptation (the paper's footnote 8
+	// alternative to global feedback): each tracking entry starts at the
+	// most conservative configuration and earns aggressiveness — up to
+	// the global level — as its stream proves itself, in the spirit of
+	// the IBM POWER4's stream ramp-up.
+	ramp bool
+	// MaxBlock bounds generated prefetch addresses (wrap protection).
+	maxBlock int64
+}
+
+// NewStream creates a stream prefetcher with the given number of tracking
+// entries (the paper's baseline uses 64) at Middle-of-the-Road
+// aggressiveness.
+func NewStream(streams int) *StreamPrefetcher {
+	if streams <= 0 {
+		streams = 64
+	}
+	return &StreamPrefetcher{
+		entries:  make([]streamEntry, streams),
+		level:    3,
+		maxBlock: 1 << 58,
+	}
+}
+
+// Name implements Prefetcher.
+func (s *StreamPrefetcher) Name() string { return "stream" }
+
+// SetLevel implements Prefetcher.
+func (s *StreamPrefetcher) SetLevel(level int) { s.level = clampLevel(level) }
+
+// Level implements Prefetcher.
+func (s *StreamPrefetcher) Level() int { return s.level }
+
+// Distance returns the current Prefetch Distance (Table 1).
+func (s *StreamPrefetcher) Distance() int64 { return int64(StreamLevels[s.level].Distance) }
+
+// Degree returns the current Prefetch Degree (Table 1).
+func (s *StreamPrefetcher) Degree() int64 { return int64(StreamLevels[s.level].Degree) }
+
+// SetPerStreamRamp toggles per-stream adaptation (footnote 8).
+func (s *StreamPrefetcher) SetPerStreamRamp(on bool) { s.ramp = on }
+
+// entryLevel returns the Table 1 level an entry operates at: the global
+// level, clamped by the entry's earned confidence when ramping.
+func (s *StreamPrefetcher) entryLevel(e *streamEntry) int {
+	if !s.ramp {
+		return s.level
+	}
+	earned := 1 + int(e.accesses/8)
+	if earned > s.level {
+		return s.level
+	}
+	return earned
+}
+
+// Observe implements Prefetcher. Demand misses allocate and train entries;
+// any demand access inside a monitored region triggers prefetches.
+func (s *StreamPrefetcher) Observe(ev Event) []uint64 {
+	s.tick++
+	addr := int64(ev.Block)
+
+	// Monitor match takes priority: an access within a monitored region
+	// issues prefetches and advances the region.
+	if e := s.findMonitor(addr); e != nil {
+		e.lastUsed = s.tick
+		e.accesses++
+		return s.issue(e)
+	}
+
+	if !ev.Miss {
+		return nil
+	}
+
+	// A miss near a training/allocated entry contributes a direction vote.
+	if e := s.findTraining(addr); e != nil {
+		e.lastUsed = s.tick
+		s.train(e, addr)
+		if e.state == streamMonitor {
+			// Treat the trained miss as the first access to the region.
+			return s.issue(e)
+		}
+		return nil
+	}
+
+	// Otherwise the miss allocates a new tracking entry.
+	e := s.victim()
+	*e = streamEntry{state: streamAllocated, first: addr, last: addr, lastUsed: s.tick}
+	return nil
+}
+
+func (s *StreamPrefetcher) findMonitor(addr int64) *streamEntry {
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.state != streamMonitor {
+			continue
+		}
+		if e.dir > 0 && addr >= e.start && addr <= e.end {
+			return e
+		}
+		if e.dir < 0 && addr <= e.start && addr >= e.end {
+			return e
+		}
+	}
+	return nil
+}
+
+func (s *StreamPrefetcher) findTraining(addr int64) *streamEntry {
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.state != streamAllocated && e.state != streamTraining {
+			continue
+		}
+		if delta := addr - e.first; delta >= -trainWindow && delta <= trainWindow {
+			return e
+		}
+	}
+	return nil
+}
+
+func (s *StreamPrefetcher) victim() *streamEntry {
+	v := &s.entries[0]
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.state == streamInvalid {
+			return e
+		}
+		if e.lastUsed < v.lastUsed {
+			v = e
+		}
+	}
+	return v
+}
+
+// train processes one direction vote from a miss at addr.
+func (s *StreamPrefetcher) train(e *streamEntry, addr int64) {
+	if addr == e.last {
+		return // duplicate miss address carries no direction information
+	}
+	var vote int64 = 1
+	if addr < e.last {
+		vote = -1
+	}
+	switch e.state {
+	case streamAllocated:
+		e.dir = vote
+		e.votes = 1
+		e.state = streamTraining
+	case streamTraining:
+		if vote == e.dir {
+			e.votes++
+		} else {
+			// Inconsistent direction: restart training from this miss.
+			e.dir = vote
+			e.votes = 1
+			e.first = e.last
+		}
+	}
+	e.last = addr
+	if e.state == streamTraining && e.votes >= 2 {
+		e.state = streamMonitor
+		e.start = e.first
+		e.end = addr + e.dir*startupDistance
+	}
+}
+
+// issue generates the prefetch addresses [P+1 .. P+N] (direction-adjusted)
+// for a monitored entry and slides the region per footnote 5: the start
+// pointer begins advancing only once the region has grown to Distance.
+func (s *StreamPrefetcher) issue(e *streamEntry) []uint64 {
+	lvl := s.entryLevel(e)
+	n := int64(StreamLevels[lvl].Degree)
+	dist := int64(StreamLevels[lvl].Distance)
+	out := make([]uint64, 0, n)
+	for i := int64(1); i <= n; i++ {
+		a := e.end + e.dir*i
+		if a < 0 || a > s.maxBlock {
+			break
+		}
+		out = append(out, uint64(a))
+	}
+	e.end += e.dir * n
+	if size := (e.end - e.start) * e.dir; size > dist {
+		// Keep the monitored region at most Distance blocks long; this also
+		// shrinks the region when FDP lowers the distance dynamically.
+		e.start = e.end - e.dir*dist
+	}
+	return out
+}
+
+// MonitorRegions returns, for tests, the (start, end, dir) triples of all
+// entries in Monitor and Request state.
+func (s *StreamPrefetcher) MonitorRegions() [][3]int64 {
+	var out [][3]int64
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.state == streamMonitor {
+			out = append(out, [3]int64{e.start, e.end, e.dir})
+		}
+	}
+	return out
+}

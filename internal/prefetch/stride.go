@@ -1,0 +1,149 @@
+package prefetch
+
+// PC-based stride prefetcher (Section 5.8), after Baer & Chen's reference
+// prediction table (RPT). Each load/store PC owns a table entry recording
+// its last block address, its current stride, and a two-bit-equivalent
+// confidence state machine. Once a PC reaches the Steady state its next
+// accesses issue up to Degree prefetches, kept at most Distance strides
+// ahead of the demand stream (the same Table 1 ladder as the stream
+// prefetcher).
+
+// Stride entry states.
+const (
+	strideInitial = iota
+	strideTransient
+	strideSteady
+	strideNoPred
+)
+
+type strideEntry struct {
+	pcTag    uint64
+	lastAddr int64
+	stride   int64
+	state    int
+	// ahead is the block address of the furthest prefetch issued for this
+	// PC, used to enforce the Distance limit without re-prefetching.
+	ahead int64
+	valid bool
+}
+
+// StridePrefetcher implements Prefetcher.
+type StridePrefetcher struct {
+	table    []strideEntry
+	mask     uint64
+	level    int
+	maxBlock int64
+}
+
+// NewStride creates a PC-indexed stride prefetcher with the given number
+// of direct-mapped table entries (power of two; 512 by default).
+func NewStride(entries int) *StridePrefetcher {
+	if entries <= 0 {
+		entries = 512
+	}
+	if entries&(entries-1) != 0 {
+		panic("prefetch: stride table size must be a power of two")
+	}
+	return &StridePrefetcher{
+		table:    make([]strideEntry, entries),
+		mask:     uint64(entries - 1),
+		level:    3,
+		maxBlock: 1 << 58,
+	}
+}
+
+// Name implements Prefetcher.
+func (p *StridePrefetcher) Name() string { return "pc-stride" }
+
+// SetLevel implements Prefetcher.
+func (p *StridePrefetcher) SetLevel(level int) { p.level = clampLevel(level) }
+
+// Level implements Prefetcher.
+func (p *StridePrefetcher) Level() int { return p.level }
+
+// Distance returns the current lookahead limit in strides.
+func (p *StridePrefetcher) Distance() int64 { return int64(StreamLevels[p.level].Distance) }
+
+// Degree returns the prefetches issued per triggering access.
+func (p *StridePrefetcher) Degree() int64 { return int64(StreamLevels[p.level].Degree) }
+
+// Observe implements Prefetcher: every demand L2 access with a valid PC
+// trains the table; Steady entries generate prefetches.
+func (p *StridePrefetcher) Observe(ev Event) []uint64 {
+	if ev.PC == 0 {
+		return nil
+	}
+	e := &p.table[(ev.PC>>2)&p.mask]
+	addr := int64(ev.Block)
+	if !e.valid || e.pcTag != ev.PC {
+		*e = strideEntry{pcTag: ev.PC, lastAddr: addr, state: strideInitial, ahead: addr, valid: true}
+		return nil
+	}
+	newStride := addr - e.lastAddr
+	match := newStride == e.stride
+	switch e.state {
+	case strideInitial:
+		if match {
+			e.state = strideSteady
+		} else {
+			e.stride = newStride
+			e.state = strideTransient
+		}
+	case strideTransient:
+		if match {
+			e.state = strideSteady
+		} else {
+			e.stride = newStride
+			e.state = strideNoPred
+		}
+	case strideSteady:
+		if !match {
+			e.state = strideInitial
+			e.stride = newStride
+			e.ahead = addr
+		}
+	case strideNoPred:
+		if match {
+			e.state = strideTransient
+		} else {
+			e.stride = newStride
+		}
+	}
+	e.lastAddr = addr
+	if e.state != strideSteady || e.stride == 0 {
+		return nil
+	}
+	return p.issue(e, addr)
+}
+
+// issue emits up to Degree prefetches for a Steady entry, never more than
+// Distance strides ahead of the current demand address.
+func (p *StridePrefetcher) issue(e *strideEntry, addr int64) []uint64 {
+	// Re-anchor if the demand stream overtook the prefetch frontier or the
+	// frontier belongs to a stale run.
+	if (e.ahead-addr)*sign(e.stride) < 0 {
+		e.ahead = addr
+	}
+	limit := addr + e.stride*p.Distance()
+	degree := p.Degree()
+	out := make([]uint64, 0, degree)
+	for int64(len(out)) < degree {
+		next := e.ahead + e.stride
+		if (limit-next)*sign(e.stride) < 0 {
+			break // would exceed the Distance window
+		}
+		if next < 0 || next > p.maxBlock {
+			break
+		}
+		out = append(out, uint64(next))
+		e.ahead = next
+	}
+	return out
+}
+
+func sign(v int64) int64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,197 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// access drives the stride prefetcher with a PC-tagged demand access.
+func access(p Prefetcher, pc, block uint64) []uint64 {
+	return p.Observe(Event{Block: block, PC: pc, Miss: true})
+}
+
+func TestStrideReachesSteady(t *testing.T) {
+	s := NewStride(512)
+	s.SetLevel(1) // distance 4, degree 1
+	const pc = 0x400100
+	if out := access(s, pc, 100); out != nil {
+		t.Fatal("prefetched on first access")
+	}
+	if out := access(s, pc, 110); out != nil {
+		t.Fatal("prefetched while transient")
+	}
+	out := access(s, pc, 120) // stride 10 confirmed: steady
+	if len(out) != 1 || out[0] != 130 {
+		t.Fatalf("steady prefetch = %v, want [130]", out)
+	}
+}
+
+func TestStrideInitialMatchFastPath(t *testing.T) {
+	// Initial with a zero stride matching zero delta must not prefetch
+	// (stride 0), but a first repeat of a nonzero implicit stride does:
+	// Initial(stride=0) -> delta==0 matches -> Steady with stride 0 -> no
+	// prefetches.
+	s := NewStride(512)
+	const pc = 0x400100
+	access(s, pc, 100)
+	if out := access(s, pc, 100); out != nil {
+		t.Fatalf("zero stride prefetched %v", out)
+	}
+}
+
+func TestStrideDescending(t *testing.T) {
+	s := NewStride(512)
+	s.SetLevel(1)
+	const pc = 0x400200
+	access(s, pc, 1000)
+	access(s, pc, 995)
+	out := access(s, pc, 990)
+	if len(out) != 1 || out[0] != 985 {
+		t.Fatalf("descending prefetch = %v, want [985]", out)
+	}
+}
+
+func TestStrideDistanceCap(t *testing.T) {
+	s := NewStride(512)
+	s.SetLevel(1) // distance 4, degree 1
+	const pc = 0x400300
+	access(s, pc, 0)
+	access(s, pc, 1)
+	// Repeated steady accesses: the frontier may never exceed addr+4.
+	cur := uint64(1)
+	for i := 0; i < 20; i++ {
+		cur++
+		for _, p := range access(s, pc, cur) {
+			if p > cur+4 {
+				t.Fatalf("prefetch %d beyond distance window of %d", p, cur)
+			}
+		}
+	}
+}
+
+func TestStrideDegreeAndDistance(t *testing.T) {
+	s := NewStride(512)
+	s.SetLevel(3) // distance 16, degree 2
+	const pc = 0x400400
+	access(s, pc, 0)
+	access(s, pc, 2)
+	out := access(s, pc, 4)
+	if len(out) != 2 || out[0] != 6 || out[1] != 8 {
+		t.Fatalf("prefetches = %v, want [6 8]", out)
+	}
+}
+
+func TestStrideBrokenPatternRecovers(t *testing.T) {
+	s := NewStride(512)
+	s.SetLevel(1)
+	const pc = 0x400500
+	access(s, pc, 0)
+	access(s, pc, 10)
+	access(s, pc, 20) // steady, stride 10
+	if out := access(s, pc, 500); out != nil {
+		t.Fatalf("prefetched %v right after the pattern broke", out)
+	}
+	// Re-establish a new stride from the break point.
+	access(s, pc, 510)
+	out := access(s, pc, 520)
+	if len(out) != 1 || out[0] != 530 {
+		t.Fatalf("recovered prefetch = %v, want [530]", out)
+	}
+}
+
+func TestStrideNoPredState(t *testing.T) {
+	s := NewStride(512)
+	const pc = 0x400600
+	// Two consecutive mismatches reach NoPred; a single match only gets
+	// back to Transient (no prefetch).
+	access(s, pc, 0)
+	access(s, pc, 7)   // initial -> transient (stride 7)
+	access(s, pc, 100) // transient mismatch -> nopred
+	access(s, pc, 110) // nopred match (stride 10)? stride was updated to 93...
+	// Regardless of the intermediate strides, nothing may prefetch until
+	// steady is re-reached; drive a clean run and expect recovery.
+	access(s, pc, 120)
+	access(s, pc, 130)
+	out := access(s, pc, 140)
+	if len(out) == 0 {
+		t.Fatal("never recovered to steady from NoPred")
+	}
+}
+
+func TestStridePCCollisionResets(t *testing.T) {
+	s := NewStride(8) // tiny table: pc and pc+8*4 collide
+	a := uint64(0x1000)
+	b := a + 8*4
+	access(s, a, 0)
+	access(s, a, 10)
+	access(s, b, 999) // evicts a's entry
+	if out := access(s, a, 20); out != nil {
+		t.Fatalf("prefetched %v from a stale entry after collision", out)
+	}
+}
+
+func TestStrideIgnoresZeroPC(t *testing.T) {
+	s := NewStride(512)
+	for i := uint64(0); i < 5; i++ {
+		if out := s.Observe(Event{Block: 100 + i*2, PC: 0, Miss: true}); out != nil {
+			t.Fatal("trained on PC 0")
+		}
+	}
+}
+
+func TestStrideTableSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two table did not panic")
+		}
+	}()
+	NewStride(100)
+}
+
+// TestStrideProperty: a steady constant-stride PC always prefetches
+// multiples of its stride ahead of the access.
+func TestStrideProperty(t *testing.T) {
+	f := func(strideRaw uint8, n uint8) bool {
+		stride := int64(strideRaw%30) + 1
+		s := NewStride(512)
+		s.SetLevel(4)
+		const pc = 0x400700
+		cur := int64(1000)
+		for i := 0; i < int(n%50)+4; i++ {
+			for _, p := range access(s, pc, uint64(cur)) {
+				d := int64(p) - cur
+				if d <= 0 || d%stride != 0 {
+					return false
+				}
+			}
+			cur += stride
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextLineOnMissAndTag(t *testing.T) {
+	p := NewNextLine()
+	p.SetLevel(1) // degree 2*1
+	out := p.Observe(Event{Block: 50, Miss: true})
+	if len(out) != 2 || out[0] != 51 || out[1] != 52 {
+		t.Fatalf("miss prefetches = %v, want [51 52]", out)
+	}
+	out = p.Observe(Event{Block: 60, Miss: false, PrefHit: true})
+	if len(out) != 2 || out[0] != 61 {
+		t.Fatalf("tag prefetches = %v", out)
+	}
+	if out := p.Observe(Event{Block: 70}); out != nil {
+		t.Fatal("plain hit prefetched")
+	}
+}
+
+func TestNextLineName(t *testing.T) {
+	if NewNextLine().Name() != "nextline" || NewStride(8).Name() != "pc-stride" ||
+		NewGHB(8, 8, 8).Name() != "ghb-cdc" || NewStream(1).Name() != "stream" {
+		t.Fatal("prefetcher names wrong")
+	}
+}

@@ -1,0 +1,184 @@
+// Package sim wires the simulator together: the out-of-order core, the
+// L1/L2 cache hierarchy with MSHRs and bounded queues, the DRAM/bus model,
+// the prefetcher, and the FDP feedback engine, reproducing the baseline
+// processor of Table 3.
+package sim
+
+import (
+	"fmt"
+
+	"fdpsim/internal/cache"
+	"fdpsim/internal/core"
+	"fdpsim/internal/cpu"
+	"fdpsim/internal/mem"
+	"fdpsim/internal/prefetch"
+)
+
+// PrefetcherKind selects the hardware prefetcher.
+type PrefetcherKind string
+
+// Available prefetchers.
+const (
+	PrefNone     PrefetcherKind = "none"
+	PrefStream   PrefetcherKind = "stream"
+	PrefGHB      PrefetcherKind = "ghb"
+	PrefStride   PrefetcherKind = "stride"
+	PrefNextLine PrefetcherKind = "nextline"
+	// PrefDahlgren is the related-work baseline: adaptive sequential
+	// prefetching throttled by accuracy alone (Section 6.1).
+	PrefDahlgren PrefetcherKind = "dahlgren"
+	// PrefHybrid composes the stream and PC-stride engines.
+	PrefHybrid PrefetcherKind = "hybrid"
+	// PrefCustom selects the prefetcher supplied in Config.Custom,
+	// letting users study their own designs under FDP control.
+	PrefCustom PrefetcherKind = "custom"
+)
+
+// Config is one simulation's full parameter set.
+type Config struct {
+	Workload string
+	Seed     uint64
+	MaxInsts uint64 // retire target; the run stops when reached
+	// WarmupInsts, when non-zero, discards all statistics gathered before
+	// that many instructions have retired (the caches, prefetcher and FDP
+	// state stay warm), mirroring the paper's fast-forward methodology.
+	// MaxInsts counts only post-warmup instructions.
+	WarmupInsts uint64
+
+	CPU cpu.Config
+
+	BlockShift uint // log2 of the cache-block size (6 = 64 B)
+
+	L1Blocks  int
+	L1Ways    int
+	L1Latency uint64
+
+	// ModelIFetch enables the L1 instruction cache and fetch-stall
+	// modeling (Table 3's 64 KB I-cache): dispatch stalls when the next
+	// instruction block misses the L1I, and instruction blocks contend
+	// for the unified L2 — the mechanism behind the paper's Section 5.9
+	// gcc observation.
+	ModelIFetch bool
+	L1IBlocks   int
+	L1IWays     int
+
+	L2Blocks  int
+	L2Ways    int
+	L2Latency uint64
+	MSHRs     int
+
+	PrefQueueCap     int // Prefetch Request Queue entries
+	PrefDrainPerTick int // prefetch requests moved into the L2 per cycle
+
+	DRAM mem.Config
+
+	Prefetcher PrefetcherKind
+	// Custom is the prefetcher instance used when Prefetcher is
+	// PrefCustom. A custom prefetcher must not be shared across runs.
+	Custom prefetch.Prefetcher
+	// StaticLevel pins the prefetcher at a Table 1 aggressiveness (1..5).
+	// Zero defers to FDP's Dynamic Configuration Counter.
+	StaticLevel int
+	// StreamEntries sizes the stream prefetcher (64 in the baseline).
+	StreamEntries int
+	// PerStreamRamp enables the stream prefetcher's per-stream
+	// adaptation (footnote 8's alternative to global feedback): each
+	// tracking entry ramps from Very Conservative toward the global
+	// level as its stream proves itself.
+	PerStreamRamp bool
+
+	FDP core.Config
+
+	// PrefCacheBlocks, when non-zero, adds a separate prefetch cache
+	// (Section 5.7 comparison): prefetches fill it instead of the L2 and
+	// demand hits migrate blocks into the L2.
+	PrefCacheBlocks int
+	PrefCacheWays   int // 0 = fully associative
+
+	// KeepFDPHistory records every sampling interval's metrics and
+	// decisions in Result.History (for adaptation-timeline analysis).
+	KeepFDPHistory bool
+
+	// MaxCycles aborts a run that stops making progress (safety valve).
+	MaxCycles uint64
+}
+
+// Default returns the paper's baseline: Table 3 processor, very
+// aggressive conventional stream prefetching disabled by default (choose
+// with Prefetcher/StaticLevel), FDP mechanisms off.
+func Default() Config {
+	fdp := core.DefaultConfig()
+	fdp.DynamicAggressiveness = false
+	fdp.DynamicInsertion = false
+	fdp.StaticInsertion = cache.PosMRU
+	return Config{
+		Workload:         "seqstream",
+		Seed:             1,
+		MaxInsts:         1_000_000,
+		CPU:              cpu.DefaultConfig(),
+		BlockShift:       6,
+		L1Blocks:         1024, // 64 KB
+		L1Ways:           4,
+		L1Latency:        2,
+		ModelIFetch:      true,
+		L1IBlocks:        1024, // 64 KB
+		L1IWays:          4,
+		L2Blocks:         16384, // 1 MB
+		L2Ways:           16,
+		L2Latency:        10,
+		MSHRs:            128,
+		PrefQueueCap:     128,
+		PrefDrainPerTick: 2,
+		DRAM:             mem.DefaultConfig(),
+		Prefetcher:       PrefNone,
+		StaticLevel:      0,
+		StreamEntries:    64,
+		FDP:              fdp,
+		MaxCycles:        0,
+	}
+}
+
+// Conventional returns a baseline configuration with a conventional
+// (static) prefetcher at the given Table 1 level.
+func Conventional(kind PrefetcherKind, level int) Config {
+	cfg := Default()
+	cfg.Prefetcher = kind
+	cfg.StaticLevel = level
+	return cfg
+}
+
+// WithFDP returns a configuration running the given prefetcher under full
+// FDP control (Dynamic Aggressiveness + Dynamic Insertion).
+func WithFDP(kind PrefetcherKind) Config {
+	cfg := Default()
+	cfg.Prefetcher = kind
+	cfg.StaticLevel = 0
+	cfg.FDP = core.DefaultConfig()
+	return cfg
+}
+
+// Validate sanity-checks structural parameters.
+func (c *Config) Validate() error {
+	if c.MaxInsts == 0 {
+		return fmt.Errorf("sim: MaxInsts must be positive")
+	}
+	if c.L1Blocks <= 0 || c.L2Blocks <= 0 {
+		return fmt.Errorf("sim: cache sizes must be positive")
+	}
+	if c.StaticLevel < 0 || c.StaticLevel > 5 {
+		return fmt.Errorf("sim: StaticLevel %d out of range 0..5", c.StaticLevel)
+	}
+	switch c.Prefetcher {
+	case PrefNone, PrefStream, PrefGHB, PrefStride, PrefNextLine, PrefDahlgren, PrefHybrid:
+	case PrefCustom:
+		if c.Custom == nil {
+			return fmt.Errorf("sim: PrefCustom requires Config.Custom")
+		}
+	default:
+		return fmt.Errorf("sim: unknown prefetcher %q", c.Prefetcher)
+	}
+	if c.Prefetcher == PrefNone && c.StaticLevel != 0 {
+		return fmt.Errorf("sim: StaticLevel set without a prefetcher")
+	}
+	return nil
+}

@@ -1,0 +1,464 @@
+package sim
+
+import (
+	"fdpsim/internal/cache"
+	"fdpsim/internal/core"
+	"fdpsim/internal/mem"
+	"fdpsim/internal/prefetch"
+	"fdpsim/internal/stats"
+)
+
+// l1Miss tracks one outstanding L1-level miss so that same-block requests
+// merge. A block may be wanted by the data side, the instruction-fetch
+// side, or both (self-modifying-code layouts aside, "both" only happens
+// when a workload reads its own code region).
+type l1Miss struct {
+	waiters      []func()
+	fetchWaiters []func()
+	anyStore     bool
+	wantData     bool
+	wantFetch    bool
+}
+
+// hierarchy is the two-level cache hierarchy plus prefetcher, FDP engine,
+// queues and DRAM of the baseline processor. The CPU calls Access; the
+// runner calls Tick once per cycle before the CPU ticks.
+type hierarchy struct {
+	cfg      *Config
+	cyc      uint64
+	coreID   int
+	ownsDRAM bool
+	ctr      *stats.Counters
+	l1       *cache.Cache
+	l1i      *cache.Cache // nil when instruction fetch is not modeled
+	l2       *cache.Cache
+	mshr     *cache.MSHRFile
+	dram     *mem.DRAM
+	pf       prefetch.Prefetcher
+	fdp      *core.FDP
+	pc       *cache.Cache // optional prefetch cache
+	wh       *wheel
+
+	l1Misses map[cache.Addr]*l1Miss
+
+	prefQ    []cache.Addr        // Prefetch Request Queue
+	prefQSet map[cache.Addr]bool // membership filter for the queue
+
+	// pendingDemand holds demand L2 accesses stalled on a full MSHR file
+	// or bus queue; retried in order each cycle.
+	pendingDemand []func() bool
+	// pendingWB holds writebacks stalled on a full writeback queue.
+	pendingWB []cache.Addr
+}
+
+func newHierarchy(cfg *Config, ctr *stats.Counters) *hierarchy {
+	h := newHierarchyShared(cfg, ctr, mem.New(cfg.DRAM), 0)
+	h.ownsDRAM = true
+	h.dram.OnStart = h.onBusStart
+	return h
+}
+
+// newHierarchyShared builds a per-core hierarchy around an externally
+// owned DRAM (multi-core mode). The caller ticks the DRAM and dispatches
+// its OnStart events to the owning core's onBusStart.
+func newHierarchyShared(cfg *Config, ctr *stats.Counters, dram *mem.DRAM, coreID int) *hierarchy {
+	h := &hierarchy{
+		cfg:      cfg,
+		ctr:      ctr,
+		coreID:   coreID,
+		l1:       cache.New("L1D", cfg.L1Blocks, cfg.L1Ways),
+		l1i:      buildL1I(cfg),
+		l2:       cache.New("L2", cfg.L2Blocks, cfg.L2Ways),
+		mshr:     cache.NewMSHRFile(cfg.MSHRs),
+		dram:     dram,
+		wh:       newWheel(4096),
+		l1Misses: make(map[cache.Addr]*l1Miss),
+		prefQSet: make(map[cache.Addr]bool),
+	}
+	h.fdp = core.New(cfg.FDP)
+	h.pf = buildPrefetcher(cfg)
+	if h.pf != nil {
+		if cfg.StaticLevel > 0 {
+			h.pf.SetLevel(cfg.StaticLevel)
+		} else {
+			h.pf.SetLevel(cfg.FDP.InitLevel)
+			h.fdp.OnLevel = h.pf.SetLevel
+		}
+	}
+	if cfg.PrefCacheBlocks > 0 {
+		h.pc = cache.New("PrefCache", cfg.PrefCacheBlocks, cfg.PrefCacheWays)
+	}
+	h.l1.OnEvict = h.onL1Evict
+	h.l2.OnEvict = h.onL2Evict
+	return h
+}
+
+func buildL1I(cfg *Config) *cache.Cache {
+	if !cfg.ModelIFetch {
+		return nil
+	}
+	blocks, ways := cfg.L1IBlocks, cfg.L1IWays
+	if blocks <= 0 {
+		blocks, ways = 1024, 4
+	}
+	return cache.New("L1I", blocks, ways)
+}
+
+func buildPrefetcher(cfg *Config) prefetch.Prefetcher {
+	switch cfg.Prefetcher {
+	case PrefStream:
+		p := prefetch.NewStream(cfg.StreamEntries)
+		p.SetPerStreamRamp(cfg.PerStreamRamp)
+		return p
+	case PrefGHB:
+		return prefetch.NewGHB(256, 256, 1024)
+	case PrefStride:
+		return prefetch.NewStride(512)
+	case PrefNextLine:
+		return prefetch.NewNextLine()
+	case PrefDahlgren:
+		return prefetch.NewDahlgren(0.75, 0.40)
+	case PrefHybrid:
+		return prefetch.NewHybrid(cfg.StreamEntries, 512)
+	case PrefCustom:
+		return cfg.Custom
+	default:
+		return nil
+	}
+}
+
+// Tick advances the memory system one cycle. In multi-core mode the
+// shared DRAM is ticked once by the runner, not per hierarchy.
+func (h *hierarchy) Tick(cycle uint64) {
+	h.cyc = cycle
+	if h.ownsDRAM {
+		h.dram.Tick(cycle)
+	}
+	h.wh.tick(cycle)
+	h.retryPending()
+	h.drainPrefetchQueue()
+}
+
+// Access is the cpu.MemFunc entry point. done may be nil (stores).
+func (h *hierarchy) Access(addr, pc uint64, store bool, done func()) {
+	block := addr >> h.cfg.BlockShift
+	h.ctr.L1Accesses++
+	if b := h.l1.Access(block); b != nil {
+		if store {
+			b.Dirty = true
+		}
+		if done != nil {
+			h.wh.schedule(h.cfg.L1Latency, done)
+		}
+		return
+	}
+	h.ctr.L1Misses++
+	if m, ok := h.l1Misses[block]; ok {
+		m.anyStore = m.anyStore || store
+		if done != nil {
+			m.waiters = append(m.waiters, done)
+		}
+		return
+	}
+	m := &l1Miss{anyStore: store, wantData: true}
+	if done != nil {
+		m.waiters = append(m.waiters, done)
+	}
+	h.l1Misses[block] = m
+	h.l2Demand(block, pc)
+}
+
+// Fetch is the cpu.FetchFunc entry point: it returns true on an L1I hit;
+// on a miss the block is requested through the unified L2 and done fires
+// when it arrives.
+func (h *hierarchy) Fetch(pc uint64, done func()) bool {
+	block := pc >> h.cfg.BlockShift
+	h.ctr.IFetchBlocks++
+	if h.l1i.Access(block) != nil {
+		return true
+	}
+	h.ctr.IFetchL1Misses++
+	if m, ok := h.l1Misses[block]; ok {
+		m.wantFetch = true
+		m.fetchWaiters = append(m.fetchWaiters, done)
+		return false
+	}
+	m := &l1Miss{wantFetch: true, fetchWaiters: []func(){done}}
+	h.l1Misses[block] = m
+	h.l2Demand(block, 0)
+	return false
+}
+
+// fillL1 completes an outstanding L1 miss: the block is inserted into the
+// L1 and every merged requester resumes after the L1 latency.
+func (h *hierarchy) fillL1(block cache.Addr) {
+	m, ok := h.l1Misses[block]
+	if !ok {
+		return
+	}
+	delete(h.l1Misses, block)
+	if m.wantData {
+		h.l1.Insert(block, cache.PosMRU, false, m.anyStore)
+	}
+	if m.wantFetch && h.l1i != nil {
+		h.l1i.Insert(block, cache.PosMRU, false, false)
+	}
+	for _, w := range m.waiters {
+		h.wh.schedule(h.cfg.L1Latency, w)
+	}
+	for _, w := range m.fetchWaiters {
+		h.wh.schedule(h.cfg.L1Latency, w)
+	}
+}
+
+// l2Demand performs (or re-attempts) a demand access at the L2. When
+// structural resources are exhausted the access parks in pendingDemand and
+// is replayed in order.
+func (h *hierarchy) l2Demand(block cache.Addr, pc uint64) {
+	if !h.tryL2Demand(block, pc) {
+		h.pendingDemand = append(h.pendingDemand, func() bool { return h.tryL2Demand(block, pc) })
+	}
+}
+
+func (h *hierarchy) tryL2Demand(block cache.Addr, pc uint64) bool {
+	ev := prefetch.Event{Block: block, PC: pc}
+	switch {
+	case h.lookupL2Hit(block, &ev):
+		// handled: fill scheduled
+	case h.lookupPrefCache(block):
+		// handled: migrated from the prefetch cache
+	default:
+		if !h.l2Miss(block, &ev) {
+			return false // resource stall: retry without training the prefetcher
+		}
+	}
+	if h.pf != nil {
+		for _, p := range h.pf.Observe(ev) {
+			h.enqueuePrefetch(p)
+		}
+	}
+	return true
+}
+
+// lookupL2Hit services a demand hit in the L2.
+func (h *hierarchy) lookupL2Hit(block cache.Addr, ev *prefetch.Event) bool {
+	h.ctr.L2DemandAccesses++
+	b := h.l2.Access(block)
+	if b == nil {
+		h.ctr.L2DemandAccesses-- // recounted on the path actually taken
+		return false
+	}
+	h.ctr.L2DemandHits++
+	if b.Pref {
+		b.Pref = false
+		h.ctr.PrefUsed++
+		h.fdp.OnPrefetchUsed()
+		ev.PrefHit = true
+	}
+	h.wh.schedule(h.cfg.L2Latency, func() { h.fillL1(block) })
+	return true
+}
+
+// lookupPrefCache migrates a demand-hit block from the separate prefetch
+// cache into the L2 (Section 5.7's prefetch-cache organization).
+func (h *hierarchy) lookupPrefCache(block cache.Addr) bool {
+	if h.pc == nil {
+		return false
+	}
+	if _, ok := h.pc.Invalidate(block); !ok {
+		return false
+	}
+	h.ctr.L2DemandAccesses++
+	h.ctr.PrefCacheHits++
+	h.ctr.PrefUsed++
+	h.fdp.OnPrefetchUsed()
+	h.l2.Insert(block, cache.PosMRU, false, false)
+	h.wh.schedule(h.cfg.L2Latency, func() { h.fillL1(block) })
+	return true
+}
+
+// l2Miss handles a demand L2 miss: merge into an in-flight request (late
+// prefetch detection) or allocate an MSHR and go to memory. Returns false
+// when MSHRs or the demand queue are exhausted.
+func (h *hierarchy) l2Miss(block cache.Addr, ev *prefetch.Event) bool {
+	if e := h.mshr.Lookup(block); e != nil {
+		h.ctr.L2DemandAccesses++
+		h.ctr.L2DemandMisses++
+		h.ctr.DemandMisses++
+		if h.fdp.OnDemandMiss(block) {
+			h.ctr.PollutionHits++
+		}
+		ev.Miss = true
+		if e.Pref {
+			// Demand hit an in-flight prefetch: the prefetch is late.
+			e.Pref = false
+			h.ctr.PrefLate++
+			h.ctr.PrefUsed++
+			h.fdp.OnPrefetchLate()
+			h.dram.Promote(block)
+		}
+		e.DemandMerged = true
+		e.Waiters = append(e.Waiters, func() { h.fillL1(block) })
+		return true
+	}
+	if h.mshr.Full() || !h.dram.CanEnqueue(mem.Demand) {
+		return false
+	}
+	h.ctr.L2DemandAccesses++
+	h.ctr.L2DemandMisses++
+	h.ctr.DemandMisses++
+	if h.fdp.OnDemandMiss(block) {
+		h.ctr.PollutionHits++
+	}
+	ev.Miss = true
+	e := h.mshr.Allocate(block, false, h.cyc)
+	e.DemandMerged = true
+	e.Waiters = append(e.Waiters, func() { h.fillL1(block) })
+	e.Issued = true
+	h.dram.Enqueue(&mem.Request{Block: block, Kind: mem.Demand, Owner: h.coreID, Done: h.onFill}, h.cyc)
+	return true
+}
+
+// enqueuePrefetch admits a prefetcher-generated block address into the
+// Prefetch Request Queue. Requests for blocks that are already resident,
+// in flight, or queued are filtered here so that a high-degree prefetcher
+// re-covering its own window cannot crowd the far-ahead addresses out of
+// the bounded queue.
+func (h *hierarchy) enqueuePrefetch(block cache.Addr) {
+	h.ctr.PrefIssued++
+	if h.prefQSet[block] || h.l2.Contains(block) ||
+		(h.pc != nil && h.pc.Contains(block)) || h.mshr.Lookup(block) != nil {
+		h.ctr.PrefDropped++
+		return
+	}
+	if len(h.prefQ) >= h.cfg.PrefQueueCap {
+		h.ctr.PrefDropped++
+		return
+	}
+	h.prefQ = append(h.prefQ, block)
+	h.prefQSet[block] = true
+}
+
+// drainPrefetchQueue moves prefetch requests from the Prefetch Request
+// Queue into the memory system, filtering ones that are already resident
+// or in flight. Prefetches enter the bus queue at the lowest priority.
+func (h *hierarchy) drainPrefetchQueue() {
+	for k := 0; k < h.cfg.PrefDrainPerTick && len(h.prefQ) > 0; k++ {
+		block := h.prefQ[0]
+		if h.l2.Contains(block) || (h.pc != nil && h.pc.Contains(block)) || h.mshr.Lookup(block) != nil {
+			h.prefQ = h.prefQ[1:]
+			delete(h.prefQSet, block)
+			h.ctr.PrefDropped++
+			continue
+		}
+		if h.mshr.Full() || !h.dram.CanEnqueue(mem.Prefetch) {
+			return
+		}
+		h.prefQ = h.prefQ[1:]
+		delete(h.prefQSet, block)
+		e := h.mshr.Allocate(block, true, h.cyc)
+		e.Issued = true
+		h.dram.Enqueue(&mem.Request{Block: block, Kind: mem.Prefetch, Owner: h.coreID, WasPrefetch: true, Done: h.onFill}, h.cyc)
+	}
+}
+
+// onFill receives a completed memory read: release the MSHR, insert the
+// block (into the prefetch cache for prefetches when one is configured,
+// otherwise into the L2 at the policy-selected stack position), and wake
+// merged demand requests.
+func (h *hierarchy) onFill(r *mem.Request) {
+	e := h.mshr.Release(r.Block)
+	stillPref := e != nil && e.Pref
+	if stillPref && h.pc != nil {
+		h.pc.Insert(r.Block, cache.PosMRU, true, false)
+		h.ctr.PrefetchFilled++
+		h.fdp.OnPrefetchFill(r.Block)
+		return
+	}
+	pos := cache.PosMRU
+	if stillPref {
+		if h.cfg.FDP.DynamicInsertion {
+			pos = h.fdp.InsertionPos()
+		} else {
+			pos = h.cfg.FDP.StaticInsertion
+		}
+		h.ctr.PrefetchFilled++
+		h.fdp.OnPrefetchFill(r.Block)
+	}
+	h.l2.Insert(r.Block, pos, stillPref, false)
+	if e != nil {
+		for _, w := range e.Waiters {
+			h.wh.schedule(1, w)
+		}
+	}
+}
+
+// onL1Evict writes dirty L1 victims back into the L2, or straight to
+// memory when the L2 no longer holds the block.
+func (h *hierarchy) onL1Evict(ev cache.Evicted) {
+	if !ev.Block.Dirty {
+		return
+	}
+	if h.l2.SetDirty(ev.Block.Tag) {
+		return
+	}
+	h.writeback(ev.Block.Tag)
+}
+
+// onL2Evict feeds FDP's pollution filter and interval counter and emits
+// writeback traffic for dirty victims. A victim is "useful" (advancing the
+// sampling interval) when a demand ever touched it; it arms the pollution
+// filter only when it was demand-filled and displaced by a prefetch.
+func (h *hierarchy) onL2Evict(ev cache.Evicted) {
+	used := !ev.Block.Pref
+	if used {
+		h.ctr.UsefulEvicted++
+	}
+	h.fdp.OnEviction(ev.Block.Tag, used, ev.Block.DemandFill, ev.ByPrefetch)
+	if ev.Block.Dirty {
+		h.writeback(ev.Block.Tag)
+	}
+}
+
+func (h *hierarchy) writeback(block cache.Addr) {
+	if !h.dram.Enqueue(&mem.Request{Block: block, Kind: mem.Writeback, Owner: h.coreID}, h.cyc) {
+		h.pendingWB = append(h.pendingWB, block)
+	}
+}
+
+// onBusStart counts bus transactions at the moment a request wins the bus,
+// which is when the paper counts a prefetch as "sent to memory".
+func (h *hierarchy) onBusStart(r *mem.Request) {
+	switch {
+	case r.Kind == mem.Writeback:
+		h.ctr.BusWritebacks++
+	case r.WasPrefetch:
+		h.ctr.BusPrefetches++
+		h.ctr.PrefSent++
+		h.fdp.OnPrefetchSent()
+	default:
+		h.ctr.BusReads++
+	}
+}
+
+// retryPending replays structural-stall victims in arrival order.
+func (h *hierarchy) retryPending() {
+	for len(h.pendingWB) > 0 {
+		if !h.dram.Enqueue(&mem.Request{Block: h.pendingWB[0], Kind: mem.Writeback, Owner: h.coreID}, h.cyc) {
+			break
+		}
+		h.pendingWB = h.pendingWB[1:]
+	}
+	for tries := 0; tries < 8 && len(h.pendingDemand) > 0; tries++ {
+		if !h.pendingDemand[0]() {
+			break
+		}
+		h.pendingDemand = h.pendingDemand[1:]
+	}
+}
+
+// Quiesced reports whether no memory-system work remains in flight.
+func (h *hierarchy) Quiesced() bool {
+	return !h.dram.Busy() && h.mshr.Used() == 0 &&
+		len(h.pendingDemand) == 0 && len(h.prefQ) == 0 && len(h.pendingWB) == 0
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+
+	"fdpsim/internal/cpu"
+	"fdpsim/internal/mem"
+	"fdpsim/internal/stats"
+	"fdpsim/internal/workload"
+)
+
+// MultiConfig describes a chip multiprocessor run: several cores, each
+// with a private L1/L2, prefetcher and FDP engine, contending for one
+// shared memory bus — the setting the paper's introduction argues makes
+// bandwidth-efficient prefetching "more desirable and valuable in future
+// processors". The shared DRAM takes its parameters from Cores[0].
+type MultiConfig struct {
+	Cores []Config
+}
+
+// CoreResult is one core's outcome within a multi-core run. Statistics
+// are snapshotted the moment the core reaches its retire target, so later
+// contention from still-running cores does not dilute them.
+type CoreResult struct {
+	Result
+	// FinishCycle is the cycle at which the core hit its retire target.
+	FinishCycle uint64
+}
+
+// MultiResult aggregates a multi-core run.
+type MultiResult struct {
+	Cores []CoreResult
+	// Cycles is the cycle at which the last core finished.
+	Cycles uint64
+	// TotalBusAccesses counts all bus transactions over the full run.
+	TotalBusAccesses uint64
+}
+
+// AggregateIPC returns the sum of per-core IPCs (system throughput).
+func (m *MultiResult) AggregateIPC() float64 {
+	var s float64
+	for i := range m.Cores {
+		s += m.Cores[i].IPC
+	}
+	return s
+}
+
+// RunMulti executes a multi-core simulation. Every core runs until it has
+// retired its MaxInsts; cores that finish early keep executing (so the
+// bus contention seen by laggards stays realistic) but their statistics
+// are frozen at the finish line.
+func RunMulti(mc MultiConfig) (MultiResult, error) {
+	n := len(mc.Cores)
+	if n == 0 {
+		return MultiResult{}, fmt.Errorf("sim: multi-core run needs at least one core")
+	}
+	for i := range mc.Cores {
+		if err := mc.Cores[i].Validate(); err != nil {
+			return MultiResult{}, fmt.Errorf("core %d: %w", i, err)
+		}
+	}
+
+	dram := mem.New(mc.Cores[0].DRAM)
+	type coreState struct {
+		cfg    *Config
+		h      *hierarchy
+		cpu    *cpu.CPU
+		ctr    *stats.Counters
+		snap   stats.Counters // counters at the finish line
+		finish uint64
+		done   bool
+		// Warmup bookkeeping (statistics before the warmup target are
+		// discarded; microarchitectural state is kept).
+		warmed      bool
+		warmCycle   uint64
+		warmRetired uint64
+		warmLoads   uint64
+		warmStores  uint64
+	}
+	cores := make([]*coreState, n)
+	for i := range mc.Cores {
+		cfg := mc.Cores[i] // copy
+		src, err := workload.New(cfg.Workload, cfg.Seed+uint64(i))
+		if err != nil {
+			return MultiResult{}, err
+		}
+		st := &coreState{cfg: &cfg, ctr: &stats.Counters{}}
+		st.h = newHierarchyShared(&cfg, st.ctr, dram, i)
+		// Give each core a private address space so co-running workloads
+		// interact only through shared-resource contention.
+		spaced := &offsetSource{src: src, base: uint64(i) << 44}
+		st.cpu = cpu.New(cfg.CPU, spaced, st.h.Access)
+		if cfg.ModelIFetch {
+			st.cpu.SetFetch(st.h.Fetch)
+		}
+		cores[i] = st
+	}
+	// The shared bus dispatches start events to the owning core.
+	dram.OnStart = func(r *mem.Request) {
+		if r.Owner >= 0 && r.Owner < n {
+			cores[r.Owner].h.onBusStart(r)
+		}
+	}
+
+	var cycle uint64
+	remaining := n
+	var lastProgress uint64
+	var lastRetiredSum uint64
+	maxCycles := uint64(0)
+	for _, st := range cores {
+		c := (st.cfg.MaxInsts + st.cfg.WarmupInsts) * 1000
+		if c > maxCycles {
+			maxCycles = c
+		}
+	}
+	if maxCycles < 50_000_000 {
+		maxCycles = 50_000_000
+	}
+
+	for remaining > 0 {
+		cycle++
+		dram.Tick(cycle)
+		var retiredSum uint64
+		for _, st := range cores {
+			st.h.Tick(cycle)
+			st.cpu.Tick()
+			retiredSum += st.cpu.Retired()
+			if !st.warmed && st.cpu.Retired() >= st.cfg.WarmupInsts {
+				st.warmed = true
+				st.warmCycle = cycle
+				st.warmRetired = st.cpu.Retired()
+				st.warmLoads = st.cpu.RetiredLoads()
+				st.warmStores = st.cpu.RetiredStores()
+				*st.ctr = stats.Counters{}
+			}
+			if !st.done && st.warmed && st.cpu.Retired() >= st.cfg.WarmupInsts+st.cfg.MaxInsts {
+				st.done = true
+				st.finish = cycle
+				st.snap = *st.ctr
+				st.snap.Cycles = cycle - st.warmCycle
+				st.snap.Retired = st.cpu.Retired() - st.warmRetired
+				st.snap.RetiredLoads = st.cpu.RetiredLoads() - st.warmLoads
+				st.snap.RetiredStores = st.cpu.RetiredStores() - st.warmStores
+				st.snap.Intervals = st.h.fdp.Intervals()
+				remaining--
+			}
+		}
+		if retiredSum != lastRetiredSum {
+			lastRetiredSum = retiredSum
+			lastProgress = cycle
+		} else if cycle-lastProgress > 2_000_000 {
+			return MultiResult{}, fmt.Errorf("sim: multi-core run stalled at cycle %d", cycle)
+		}
+		if cycle > maxCycles {
+			return MultiResult{}, fmt.Errorf("sim: multi-core run exceeded cycle budget %d", maxCycles)
+		}
+	}
+
+	res := MultiResult{Cycles: cycle}
+	for i, st := range cores {
+		ctr := st.snap
+		cr := CoreResult{
+			Result: Result{
+				Workload:   st.cfg.Workload,
+				Prefetcher: string(st.cfg.Prefetcher),
+				Level:      st.cfg.StaticLevel,
+				Counters:   ctr,
+				IPC:        ctr.IPC(),
+				BPKI:       ctr.BPKI(),
+				Accuracy:   ctr.Accuracy(),
+				Lateness:   ctr.Lateness(),
+				Pollution:  ctr.Pollution(),
+				LevelDist:  st.h.fdp.LevelDist,
+				InsertDist: st.h.fdp.InsertDist,
+				Intervals:  ctr.Intervals,
+				FinalLevel: st.h.fdp.Level(),
+			},
+			FinishCycle: st.finish,
+		}
+		if st.h.pf != nil {
+			cr.FinalLevel = st.h.pf.Level()
+		}
+		res.Cores = append(res.Cores, cr)
+		res.TotalBusAccesses += st.ctr.BusAccesses()
+		_ = i
+	}
+	return res, nil
+}

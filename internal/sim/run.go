@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+
+	"fdpsim/internal/core"
+	"fdpsim/internal/cpu"
+	"fdpsim/internal/mem"
+	"fdpsim/internal/stats"
+	"fdpsim/internal/workload"
+)
+
+// Result is one simulation's output: raw counters plus the derived metrics
+// the paper reports.
+type Result struct {
+	Workload   string
+	Prefetcher string
+	Level      int // static level, or 0 for dynamic
+
+	Counters stats.Counters
+	DRAM     mem.Stats
+
+	IPC       float64
+	BPKI      float64
+	Accuracy  float64 // whole-run used/sent, as in Figure 2
+	Lateness  float64 // whole-run late/used, as in Figure 3
+	Pollution float64 // whole-run pollution estimate
+
+	// LevelDist and InsertDist reproduce Figures 6 and 8 for FDP runs.
+	LevelDist  *stats.Distribution
+	InsertDist *stats.Distribution
+	Intervals  uint64
+
+	// History holds per-interval FDP records when Config.KeepFDPHistory
+	// is set: the decision trace behind the distributions.
+	History []core.IntervalRecord
+
+	FinalLevel int
+}
+
+// Run executes one simulation to completion.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	src, err := workload.New(cfg.Workload, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return runWith(cfg, src)
+}
+
+// RunSource executes one simulation over a caller-provided micro-op source
+// (used for trace replay and custom workloads).
+func RunSource(cfg Config, src cpu.Source) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	return runWith(cfg, src)
+}
+
+func runWith(cfg Config, src cpu.Source) (Result, error) {
+	var ctr stats.Counters
+	h := newHierarchy(&cfg, &ctr)
+	h.fdp.KeepHistory = cfg.KeepFDPHistory
+	c := cpu.New(cfg.CPU, src, h.Access)
+	if cfg.ModelIFetch {
+		c.SetFetch(h.Fetch)
+	}
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		// Generous default: even an IPC of 0.002 finishes.
+		maxCycles = (cfg.MaxInsts + cfg.WarmupInsts) * 500
+		if maxCycles < 10_000_000 {
+			maxCycles = 10_000_000
+		}
+	}
+
+	var cycle uint64
+	lastRetired := uint64(0)
+	lastProgress := uint64(0)
+	var warmCycle, warmRetired, warmLoads, warmStores uint64
+	warmed := cfg.WarmupInsts == 0
+	target := cfg.WarmupInsts + cfg.MaxInsts
+	for c.Retired() < target {
+		cycle++
+		h.Tick(cycle)
+		c.Tick()
+		if !warmed && c.Retired() >= cfg.WarmupInsts {
+			// Discard warm-up statistics; keep all microarchitectural state.
+			warmed = true
+			warmCycle = cycle
+			warmRetired = c.Retired()
+			warmLoads = c.RetiredLoads()
+			warmStores = c.RetiredStores()
+			*h.ctr = stats.Counters{}
+		}
+		if r := c.Retired(); r != lastRetired {
+			lastRetired = r
+			lastProgress = cycle
+		} else if cycle-lastProgress > 2_000_000 {
+			return Result{}, fmt.Errorf("sim: no retirement progress for 2M cycles at cycle %d (workload %s, retired %d)",
+				cycle, src.Name(), c.Retired())
+		}
+		if cycle >= maxCycles {
+			return Result{}, fmt.Errorf("sim: exceeded cycle budget %d (workload %s, retired %d of %d)",
+				maxCycles, src.Name(), c.Retired(), cfg.MaxInsts)
+		}
+	}
+
+	ctr.Cycles = cycle - warmCycle
+	ctr.Retired = c.Retired() - warmRetired
+	ctr.RetiredLoads = c.RetiredLoads() - warmLoads
+	ctr.RetiredStores = c.RetiredStores() - warmStores
+	ctr.StallFetch = c.StallFetch()
+	ctr.Intervals = h.fdp.Intervals()
+
+	res := Result{
+		Workload:   cfg.Workload,
+		Prefetcher: string(cfg.Prefetcher),
+		Level:      cfg.StaticLevel,
+		Counters:   ctr,
+		DRAM:       h.dram.Stats(),
+		IPC:        ctr.IPC(),
+		BPKI:       ctr.BPKI(),
+		Accuracy:   ctr.Accuracy(),
+		Lateness:   ctr.Lateness(),
+		Pollution:  ctr.Pollution(),
+		LevelDist:  h.fdp.LevelDist,
+		InsertDist: h.fdp.InsertDist,
+		Intervals:  h.fdp.Intervals(),
+		History:    h.fdp.History,
+		FinalLevel: h.fdp.Level(),
+	}
+	if h.pf != nil {
+		res.FinalLevel = h.pf.Level()
+	}
+	return res, nil
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+
+	"fdpsim/internal/cpu"
+	"fdpsim/internal/stats"
+	"fdpsim/internal/workload"
+)
+
+// SMTConfig describes threads sharing one cache hierarchy — the "many
+// threads sharing the same L2" setting of the paper's Section 4.3, which
+// recommends reducing the pollution thresholds under such contention. All
+// threads share the L2, MSHRs, prefetcher and one FDP engine (whose
+// feedback then reflects the combined access stream); each thread has its
+// own architectural core.
+type SMTConfig struct {
+	// Base carries the shared hierarchy, prefetcher and FDP parameters;
+	// its Workload field is ignored.
+	Base Config
+	// Workloads names one workload per hardware thread.
+	Workloads []string
+}
+
+// ThreadResult is one thread's outcome in an SMT run.
+type ThreadResult struct {
+	Workload string
+	Retired  uint64
+	// FinishCycle is when the thread hit the retire target; IPC is
+	// computed against it.
+	FinishCycle uint64
+	IPC         float64
+}
+
+// SMTResult aggregates an SMT run. The cache-hierarchy counters are
+// shared, so bandwidth and prefetch metrics are reported once.
+type SMTResult struct {
+	Threads  []ThreadResult
+	Counters stats.Counters
+	Cycles   uint64
+	// BPKI is shared bus accesses per 1000 instructions summed over all
+	// threads.
+	BPKI       float64
+	Accuracy   float64
+	Pollution  float64
+	FinalLevel int
+}
+
+// AggregateIPC returns the sum of per-thread IPCs.
+func (r *SMTResult) AggregateIPC() float64 {
+	var s float64
+	for i := range r.Threads {
+		s += r.Threads[i].IPC
+	}
+	return s
+}
+
+// offsetSource relocates a workload into a private address space.
+type offsetSource struct {
+	src  cpu.Source
+	base uint64
+}
+
+// Name implements cpu.Source.
+func (o *offsetSource) Name() string { return o.src.Name() }
+
+// Next implements cpu.Source.
+func (o *offsetSource) Next() cpu.MicroOp {
+	op := o.src.Next()
+	if op.Kind != cpu.Nop {
+		op.Addr += o.base
+	}
+	if op.PC != 0 {
+		op.PC += o.base
+	}
+	return op
+}
+
+// RunSMT executes threads over one shared hierarchy until every thread
+// has retired Base.MaxInsts instructions. Threads that finish keep
+// running (preserving contention); their IPC is fixed at the finish line.
+// Base.WarmupInsts is not supported in this mode.
+func RunSMT(cfg SMTConfig) (SMTResult, error) {
+	if len(cfg.Workloads) == 0 {
+		return SMTResult{}, fmt.Errorf("sim: SMT run needs at least one thread")
+	}
+	base := cfg.Base
+	base.Workload = cfg.Workloads[0] // satisfy validation; sources are per-thread
+	if err := base.Validate(); err != nil {
+		return SMTResult{}, err
+	}
+	if base.WarmupInsts != 0 {
+		return SMTResult{}, fmt.Errorf("sim: WarmupInsts is not supported in SMT mode")
+	}
+
+	var ctr stats.Counters
+	h := newHierarchy(&base, &ctr)
+	type thread struct {
+		c      *cpu.CPU
+		finish uint64
+		done   bool
+	}
+	threads := make([]*thread, len(cfg.Workloads))
+	res := SMTResult{}
+	for i, w := range cfg.Workloads {
+		src, err := workload.New(w, base.Seed+uint64(i))
+		if err != nil {
+			return SMTResult{}, err
+		}
+		// Each thread runs in its own address space: offset both data and
+		// code addresses so co-running workloads contend for cache *space*
+		// rather than aliasing each other's lines.
+		spaced := &offsetSource{src: src, base: uint64(i) << 44}
+		th := &thread{c: cpu.New(base.CPU, spaced, h.Access)}
+		if base.ModelIFetch {
+			th.c.SetFetch(h.Fetch)
+		}
+		threads[i] = th
+		res.Threads = append(res.Threads, ThreadResult{Workload: w})
+	}
+
+	var cycle uint64
+	remaining := len(threads)
+	var lastSum, lastProgress uint64
+	maxCycles := base.MaxInsts * 2000
+	if maxCycles < 50_000_000 {
+		maxCycles = 50_000_000
+	}
+	for remaining > 0 {
+		cycle++
+		h.Tick(cycle)
+		var sum uint64
+		for i, th := range threads {
+			th.c.Tick()
+			sum += th.c.Retired()
+			if !th.done && th.c.Retired() >= base.MaxInsts {
+				th.done = true
+				th.finish = cycle
+				res.Threads[i].Retired = th.c.Retired()
+				res.Threads[i].FinishCycle = cycle
+				res.Threads[i].IPC = float64(th.c.Retired()) / float64(cycle)
+				remaining--
+			}
+		}
+		if sum != lastSum {
+			lastSum = sum
+			lastProgress = cycle
+		} else if cycle-lastProgress > 2_000_000 {
+			return SMTResult{}, fmt.Errorf("sim: SMT run stalled at cycle %d", cycle)
+		}
+		if cycle > maxCycles {
+			return SMTResult{}, fmt.Errorf("sim: SMT run exceeded cycle budget %d", maxCycles)
+		}
+	}
+
+	var totalRetired uint64
+	for _, th := range threads {
+		totalRetired += th.c.Retired()
+	}
+	ctr.Retired = totalRetired
+	ctr.Cycles = cycle
+	res.Counters = ctr
+	res.Cycles = cycle
+	res.BPKI = ctr.BPKI()
+	res.Accuracy = ctr.Accuracy()
+	res.Pollution = ctr.Pollution()
+	res.FinalLevel = h.fdp.Level()
+	if h.pf != nil {
+		res.FinalLevel = h.pf.Level()
+	}
+	return res, nil
+}

@@ -1,0 +1,44 @@
+package sim
+
+// wheel is a fixed-horizon timing wheel used to schedule the hierarchy's
+// short, fixed-latency completions (L1 hits, L2 hits, fill hand-offs).
+// Long, variable latencies live inside the DRAM model, so the horizon
+// stays small.
+type wheel struct {
+	buckets [][]func()
+	mask    uint64
+	now     uint64
+}
+
+func newWheel(size int) *wheel {
+	if size&(size-1) != 0 || size <= 0 {
+		panic("sim: wheel size must be a positive power of two")
+	}
+	return &wheel{buckets: make([][]func(), size), mask: uint64(size - 1)}
+}
+
+// schedule runs fn delay cycles from now; delay must be at least 1 and
+// less than the wheel size.
+func (w *wheel) schedule(delay uint64, fn func()) {
+	if delay == 0 {
+		delay = 1
+	}
+	if delay > w.mask {
+		panic("sim: event beyond wheel horizon")
+	}
+	i := (w.now + delay) & w.mask
+	w.buckets[i] = append(w.buckets[i], fn)
+}
+
+// tick advances to the given cycle and runs its bucket. Callbacks may
+// schedule new events (at a minimum delay of 1, so never into the bucket
+// being drained).
+func (w *wheel) tick(cycle uint64) {
+	w.now = cycle
+	i := cycle & w.mask
+	bucket := w.buckets[i]
+	w.buckets[i] = nil
+	for _, fn := range bucket {
+		fn()
+	}
+}

@@ -1,0 +1,86 @@
+package sim
+
+import "testing"
+
+func TestWheelRunsAtScheduledCycle(t *testing.T) {
+	w := newWheel(16)
+	fired := -1
+	w.tick(0)
+	w.schedule(3, func() { fired = 3 })
+	w.tick(1)
+	w.tick(2)
+	if fired != -1 {
+		t.Fatal("event fired early")
+	}
+	w.tick(3)
+	if fired != 3 {
+		t.Fatal("event did not fire at its cycle")
+	}
+}
+
+func TestWheelZeroDelayBecomesOne(t *testing.T) {
+	w := newWheel(16)
+	fired := false
+	w.tick(5)
+	w.schedule(0, func() { fired = true })
+	w.tick(6)
+	if !fired {
+		t.Fatal("zero-delay event not coerced to next cycle")
+	}
+}
+
+func TestWheelChainedScheduling(t *testing.T) {
+	w := newWheel(16)
+	var order []int
+	w.tick(0)
+	w.schedule(1, func() {
+		order = append(order, 1)
+		w.schedule(2, func() { order = append(order, 2) })
+	})
+	for c := uint64(1); c <= 4; c++ {
+		w.tick(c)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestWheelHorizonPanics(t *testing.T) {
+	w := newWheel(16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("beyond-horizon schedule did not panic")
+		}
+	}()
+	w.schedule(16, func() {})
+}
+
+func TestWheelSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two wheel did not panic")
+		}
+	}()
+	newWheel(10)
+}
+
+func TestWheelManyEventsSameCycle(t *testing.T) {
+	w := newWheel(8)
+	n := 0
+	w.tick(0)
+	for i := 0; i < 100; i++ {
+		w.schedule(2, func() { n++ })
+	}
+	w.tick(1)
+	w.tick(2)
+	if n != 100 {
+		t.Fatalf("fired %d of 100", n)
+	}
+	// Bucket is cleared: wrapping around must not re-fire.
+	for c := uint64(3); c < 20; c++ {
+		w.tick(c)
+	}
+	if n != 100 {
+		t.Fatalf("events re-fired after wrap: %d", n)
+	}
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"fdpsim/internal/cpu"
+	"fdpsim/internal/workload"
+)
+
+func roundTrip(t *testing.T, name string, ops []cpu.MicroOp) *Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if err := w.Write(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRoundTripMixed(t *testing.T) {
+	ops := []cpu.MicroOp{
+		{Kind: cpu.Nop},
+		{Kind: cpu.Nop},
+		{Kind: cpu.Load, Addr: 4096, PC: 0x400000, Dep: 1},
+		{Kind: cpu.Store, Addr: 64, PC: 0x400004},
+		{Kind: cpu.Nop},
+		{Kind: cpu.Load, Addr: 1 << 40, PC: 0x400008},
+	}
+	r := roundTrip(t, "mix", ops)
+	if r.Name() != "mix" || r.Len() != len(ops) {
+		t.Fatalf("name=%q len=%d", r.Name(), r.Len())
+	}
+	for i, want := range ops {
+		if got := r.Next(); got != want {
+			t.Fatalf("op %d = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestReaderPadsWithNops(t *testing.T) {
+	r := roundTrip(t, "pad", []cpu.MicroOp{{Kind: cpu.Load, Addr: 64, PC: 1}})
+	r.Next()
+	if op := r.Next(); op.Kind != cpu.Nop {
+		t.Fatalf("exhausted reader returned %+v", op)
+	}
+	if !r.Exhausted() {
+		t.Fatal("Exhausted() false after running out")
+	}
+}
+
+func TestReaderLoops(t *testing.T) {
+	r := roundTrip(t, "loop", []cpu.MicroOp{
+		{Kind: cpu.Load, Addr: 64, PC: 1},
+		{Kind: cpu.Store, Addr: 128, PC: 2},
+	})
+	r.Loop = true
+	for i := 0; i < 7; i++ {
+		r.Next()
+	}
+	if op := r.Next(); op.Kind != cpu.Store || op.Addr != 128 {
+		t.Fatalf("looped op = %+v", op)
+	}
+	if r.Exhausted() {
+		t.Fatal("looping reader reported exhaustion")
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedStreamRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "t")
+	w.Write(cpu.MicroOp{Kind: cpu.Load, Addr: 64, PC: 1})
+	w.Close()
+	raw := buf.Bytes()
+	if _, err := NewReader(bytes.NewReader(raw[:len(raw)-1])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "t")
+	w.Close()
+	if err := w.Write(cpu.MicroOp{}); err == nil {
+		t.Fatal("write after Close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double Close errored: %v", err)
+	}
+}
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	// Record a real workload prefix and verify bit-exact replay.
+	src, _ := workload.New("spmv", 3)
+	var ops []cpu.MicroOp
+	for i := 0; i < 10000; i++ {
+		ops = append(ops, src.Next())
+	}
+	r := roundTrip(t, "spmv", ops)
+	for i, want := range ops {
+		if got := r.Next(); got != want {
+			t.Fatalf("spmv op %d = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestCompressionReasonable(t *testing.T) {
+	// Streaming workloads must encode compactly (delta + RLE): well under
+	// 4 bytes per op.
+	src, _ := workload.New("seqstream", 1)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "seqstream")
+	const n = 100000
+	for i := 0; i < n; i++ {
+		w.Write(src.Next())
+	}
+	w.Close()
+	if perOp := float64(buf.Len()) / n; perOp > 4 {
+		t.Fatalf("%.2f bytes/op, want < 4", perOp)
+	}
+}
+
+// TestRoundTripProperty: arbitrary op sequences survive encoding.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var ops []cpu.MicroOp
+		for _, r := range raw {
+			op := cpu.MicroOp{}
+			switch r % 3 {
+			case 0:
+				op.Kind = cpu.Nop
+			case 1:
+				op = cpu.MicroOp{Kind: cpu.Load, Addr: uint64(r) * 13, PC: uint64(r % 997), Dep: int(r % 5)}
+			case 2:
+				op = cpu.MicroOp{Kind: cpu.Store, Addr: uint64(r) * 7, PC: uint64(r % 31)}
+			}
+			ops = append(ops, op)
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, "q")
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			if w.Write(op) != nil {
+				return false
+			}
+		}
+		if w.Close() != nil {
+			return false
+		}
+		if w.Count() != uint64(len(ops)) {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil || r.Len() != len(ops) {
+			return false
+		}
+		for _, want := range ops {
+			if r.Next() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
