@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short bench experiments fuzz clean
+.PHONY: all build vet test test-short test-race check bench experiments fuzz clean
 
 all: build vet test
 
@@ -15,6 +15,13 @@ test:
 
 test-short:
 	go test -short ./...
+
+test-race:
+	go test -race ./...
+
+# What CI runs: a full build, vet, and the race-enabled test suite (the
+# progress sinks cross goroutine boundaries, so -race is load-bearing).
+check: build vet test-race
 
 # One benchmark per paper table/figure (see bench_test.go).
 bench:

@@ -11,6 +11,7 @@ package fdpsim
 // measurements honest.
 
 import (
+	"context"
 	"testing"
 
 	"fdpsim/internal/harness"
@@ -31,7 +32,7 @@ func benchmarkExperiment(b *testing.B, id string) {
 	}
 	for i := 0; i < b.N; i++ {
 		harness.ResetMemo()
-		tables, err := e.Run(benchParams())
+		tables, err := e.Run(context.Background(), benchParams())
 		if err != nil {
 			b.Fatal(err)
 		}

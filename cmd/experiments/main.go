@@ -6,29 +6,76 @@
 //	experiments -run fig9
 //	experiments -run fig9,fig10,table5
 //	experiments -all -insts 1000000
+//	experiments -all -progress -timeout 2m
+//
+// A SIGINT (Ctrl-C) or an expired -timeout cancels the in-flight
+// simulations at the next FDP interval boundary; tables of experiments
+// already completed have been printed, so an interrupted -all run still
+// exits cleanly with partial output. -progress streams per-simulation
+// completions and per-FDP-interval telemetry to stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
+	"fdpsim"
 	"fdpsim/internal/harness"
 )
 
+// reporter serializes live progress lines onto stderr.
+type reporter struct {
+	mu sync.Mutex
+}
+
+func (r *reporter) onRun(done, total int, spec harness.RunSpec, res fdpsim.Result, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case err == nil:
+		fmt.Fprintf(os.Stderr, "  [%3d/%3d] %s/%s  IPC=%.3f BPKI=%.1f (%.2fs)\n",
+			done, total, spec.Workload, spec.Config, res.IPC, res.BPKI, res.Elapsed.Seconds())
+	case errors.Is(err, fdpsim.ErrCancelled):
+		fmt.Fprintf(os.Stderr, "  [%3d/%3d] %s/%s  cancelled at %d insts\n",
+			done, total, spec.Workload, spec.Config, res.Counters.Retired)
+	default:
+		fmt.Fprintf(os.Stderr, "  [%3d/%3d] %s/%s  error: %v\n",
+			done, total, spec.Workload, spec.Config, err)
+	}
+}
+
+func (r *reporter) onSnapshot(spec harness.RunSpec, s fdpsim.Snapshot) {
+	if s.Final {
+		return // the completion line comes from onRun
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fmt.Fprintf(os.Stderr, "    %s/%s interval %d: retired=%d IPC=%.3f acc=%.0f%% late=%.0f%% poll=%.0f%% level=%d insert=%s\n",
+		spec.Workload, spec.Config, s.Interval, s.Retired, s.IPC,
+		100*s.Accuracy, 100*s.Lateness, 100*s.Pollution, s.Level, s.Insertion)
+}
+
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiments and exit")
-		run     = flag.String("run", "", "comma-separated experiment IDs to run")
-		all     = flag.Bool("all", false, "run every experiment")
-		insts   = flag.Uint64("insts", 1_000_000, "instructions per simulation (after warmup)")
-		warmup  = flag.Uint64("warmup", 250_000, "warmup instructions excluded from statistics")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-		tint    = flag.Uint64("tinterval", 2048, "FDP sampling interval in useful evictions (paper: 8192 at 250M insts)")
-		format  = flag.String("format", "text", "output format: text, csv, or chart")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "", "comma-separated experiment IDs to run")
+		all      = flag.Bool("all", false, "run every experiment")
+		insts    = flag.Uint64("insts", 1_000_000, "instructions per simulation (after warmup)")
+		warmup   = flag.Uint64("warmup", 250_000, "warmup instructions excluded from statistics")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		tint     = flag.Uint64("tinterval", 2048, "FDP sampling interval in useful evictions (paper: 8192 at 250M insts)")
+		format   = flag.String("format", "text", "output format: text, csv, or chart")
+		timeout  = flag.Duration("timeout", 0, "overall deadline; expiry cancels in-flight simulations (0 = none)")
+		progress = flag.Bool("progress", false, "stream per-simulation completions and per-FDP-interval telemetry to stderr")
 	)
 	flag.Parse()
 
@@ -51,6 +98,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	p := harness.DefaultParams()
 	p.Insts = *insts
 	p.Warmup = *warmup
@@ -58,6 +113,10 @@ func main() {
 	p.TInterval = *tint
 	if *workers > 0 {
 		p.Workers = *workers
+	}
+	if *progress {
+		rep := &reporter{}
+		p.Progress = &harness.Progress{OnRun: rep.onRun, OnSnapshot: rep.onSnapshot}
 	}
 
 	for _, id := range ids {
@@ -68,8 +127,15 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		tables, err := e.Run(p)
+		tables, err := e.Run(ctx, p)
 		if err != nil {
+			if errors.Is(err, fdpsim.ErrCancelled) {
+				fmt.Fprintf(os.Stderr, "experiments: interrupted during %s — the tables above are the completed experiments\n", id)
+				if errors.Is(err, context.DeadlineExceeded) {
+					return // the -timeout budget is a planned stop: exit 0
+				}
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
 			os.Exit(1)
 		}

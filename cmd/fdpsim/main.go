@@ -4,15 +4,27 @@
 //
 //	fdpsim -workload seqstream -prefetcher stream -level 5 -insts 1000000
 //	fdpsim -workload chaserand -prefetcher stream -fdp
+//	fdpsim -workload mixedphase -fdp -progress -timeout 30s
 //	fdpsim -list
+//
+// -progress streams one line of FDP telemetry per sampling interval to
+// stderr. A SIGINT (Ctrl-C) or an expired -timeout stops the run at the
+// next interval boundary and the partial metrics are printed, marked
+// "(partial)". Exit codes: 0 success (including a -timeout stop), 2 bad
+// usage or configuration, 130 interrupted by SIGINT, 1 other errors.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"fdpsim"
 	"fdpsim/internal/prefetch"
@@ -28,19 +40,47 @@ func emitJSON(res fdpsim.Result) {
 	}
 }
 
+// exitCode maps a run error to the documented exit codes; a nil error and
+// a deadline-stop both mean 0.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, context.DeadlineExceeded):
+		return 0 // -timeout is a planned stop, not a failure
+	case errors.Is(err, fdpsim.ErrCancelled):
+		return 130 // interrupted (SIGINT convention)
+	case errors.Is(err, fdpsim.ErrUnknownWorkload), errors.Is(err, fdpsim.ErrInvalidConfig):
+		return 2
+	default:
+		return 1
+	}
+}
+
+// progressLine prints one FDP sampling interval to stderr.
+func progressLine(s fdpsim.Snapshot) {
+	if s.Final {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "interval %4d: retired=%9d/%d IPC=%.3f acc=%5.1f%% late=%5.1f%% poll=%5.1f%% level=%d insert=%-5s (%.1fs)\n",
+		s.Interval, s.Retired, s.Target, s.IPC,
+		100*s.Accuracy, 100*s.Lateness, 100*s.Pollution, s.Level, s.Insertion, s.Elapsed.Seconds())
+}
+
 // runMulticore executes one multi-core simulation with every core using
 // the already-parsed single-core configuration as its template.
-func runMulticore(tmpl fdpsim.Config, workloads []string, jsonOut bool) {
+func runMulticore(ctx context.Context, tmpl fdpsim.Config, workloads []string, jsonOut bool) {
 	var mc fdpsim.MultiConfig
 	for _, w := range workloads {
 		cfg := tmpl
 		cfg.Workload = strings.TrimSpace(w)
 		mc.Cores = append(mc.Cores, cfg)
 	}
-	res, err := fdpsim.RunMulti(mc)
-	if err != nil {
+	res, err := fdpsim.RunMultiContext(ctx, mc)
+	code := exitCode(err)
+	if err != nil && !errors.Is(err, fdpsim.ErrCancelled) {
 		fmt.Fprintln(os.Stderr, "fdpsim:", err)
-		os.Exit(1)
+		os.Exit(code)
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -49,16 +89,26 @@ func runMulticore(tmpl fdpsim.Config, workloads []string, jsonOut bool) {
 			fmt.Fprintln(os.Stderr, "fdpsim:", err)
 			os.Exit(1)
 		}
-		return
+		os.Exit(code)
+	}
+	if res.Partial {
+		fmt.Println("run cancelled — partial results up to the stop cycle:")
 	}
 	var totalInsts uint64
 	for i, c := range res.Cores {
-		fmt.Printf("core %d %-14s IPC=%.4f BPKI=%7.1f accuracy=%5.1f%% level=%d finish=%d\n",
-			i, c.Workload, c.IPC, c.BPKI, 100*c.Accuracy, c.FinalLevel, c.FinishCycle)
+		partial := ""
+		if c.Partial {
+			partial = " (partial)"
+		}
+		fmt.Printf("core %d %-14s IPC=%.4f BPKI=%7.1f accuracy=%5.1f%% level=%d finish=%d%s\n",
+			i, c.Workload, c.IPC, c.BPKI, 100*c.Accuracy, c.FinalLevel, c.FinishCycle, partial)
 		totalInsts += c.Counters.Retired
 	}
-	fmt.Printf("aggregate IPC=%.4f  total bus/KI=%.1f  cycles=%d\n",
-		res.AggregateIPC(), 1000*float64(res.TotalBusAccesses)/float64(totalInsts), res.Cycles)
+	if totalInsts > 0 {
+		fmt.Printf("aggregate IPC=%.4f  total bus/KI=%.1f  cycles=%d\n",
+			res.AggregateIPC(), 1000*float64(res.TotalBusAccesses)/float64(totalInsts), res.Cycles)
+	}
+	os.Exit(code)
 }
 
 func main() {
@@ -79,6 +129,8 @@ func main() {
 		cores        = flag.String("cores", "", "comma-separated workloads for a multi-core run on a shared bus")
 		configPath   = flag.String("config", "", "JSON file overriding the assembled configuration")
 		dumpConfig   = flag.Bool("dumpconfig", false, "print the assembled configuration as JSON and exit")
+		timeout      = flag.Duration("timeout", 0, "deadline; expiry stops the run and prints partial metrics (0 = none)")
+		progress     = flag.Bool("progress", false, "stream per-FDP-interval telemetry to stderr")
 	)
 	flag.Parse()
 
@@ -94,29 +146,35 @@ func main() {
 		return
 	}
 
-	var cfg fdpsim.Config
+	opts := []fdpsim.Option{
+		fdpsim.WithWorkload(*workloadName),
+		fdpsim.WithInsts(*insts),
+		fdpsim.WithSeed(*seed),
+	}
 	kind := fdpsim.PrefetcherKind(*prefName)
-	if *fdp {
-		cfg = fdpsim.WithFDP(kind)
-	} else if kind == fdpsim.PrefNone {
-		cfg = fdpsim.Default()
-	} else {
-		cfg = fdpsim.Conventional(kind, *level)
+	if !*fdp && kind != fdpsim.PrefNone {
+		opts = append(opts, fdpsim.WithFixedAggressiveness(*level))
+	}
+	if !*fdp && *insertAt != "MRU" {
+		switch *insertAt {
+		case "MID":
+			opts = append(opts, fdpsim.WithInsertion(fdpsim.PosMID))
+		case "LRU-4":
+			opts = append(opts, fdpsim.WithInsertion(fdpsim.PosLRU4))
+		case "LRU":
+			opts = append(opts, fdpsim.WithInsertion(fdpsim.PosLRU))
+		default:
+			fmt.Fprintf(os.Stderr, "fdpsim: unknown insertion position %q\n", *insertAt)
+			os.Exit(2)
+		}
+	}
+	cfg, err := fdpsim.NewConfig(kind, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdpsim:", err)
+		os.Exit(exitCode(err))
 	}
 	if *dynIns {
 		cfg.FDP.DynamicInsertion = true
-	}
-	switch *insertAt {
-	case "MRU":
-	case "MID":
-		cfg.FDP.StaticInsertion = fdpsim.PosMID
-	case "LRU-4":
-		cfg.FDP.StaticInsertion = fdpsim.PosLRU4
-	case "LRU":
-		cfg.FDP.StaticInsertion = fdpsim.PosLRU
-	default:
-		fmt.Fprintf(os.Stderr, "fdpsim: unknown insertion position %q\n", *insertAt)
-		os.Exit(2)
 	}
 	if *memlat != 0 {
 		scale := float64(*memlat) / 500
@@ -126,9 +184,6 @@ func main() {
 	if *l2kb != 0 {
 		cfg.L2Blocks = *l2kb * 1024 / 64
 	}
-	cfg.Workload = *workloadName
-	cfg.MaxInsts = *insts
-	cfg.Seed = *seed
 
 	if *configPath != "" {
 		raw, err := os.ReadFile(*configPath)
@@ -151,19 +206,31 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *progress {
+		cfg.Progress = progressLine
+	}
+
 	if *cores != "" {
-		runMulticore(cfg, strings.Split(*cores, ","), *jsonOut)
+		runMulticore(ctx, cfg, strings.Split(*cores, ","), *jsonOut)
 		return
 	}
 
-	res, err := fdpsim.Run(cfg)
-	if err != nil {
+	res, err := fdpsim.RunContext(ctx, cfg)
+	code := exitCode(err)
+	if err != nil && !errors.Is(err, fdpsim.ErrCancelled) {
 		fmt.Fprintln(os.Stderr, "fdpsim:", err)
-		os.Exit(1)
+		os.Exit(code)
 	}
 	if *jsonOut {
 		emitJSON(res)
-		return
+		os.Exit(code)
 	}
 
 	mode := "conventional"
@@ -174,12 +241,20 @@ func main() {
 	} else {
 		mode = fmt.Sprintf("conventional, %s", prefetch.LevelName(*level))
 	}
+	if res.Partial {
+		var ce *fdpsim.CancelError
+		if errors.As(err, &ce) {
+			fmt.Printf("run cancelled after %d of %d instructions (%v) — partial metrics:\n",
+				ce.Retired, ce.Target, ce.Cause)
+		}
+	}
 	fmt.Printf("workload   : %s — %s\n", res.Workload, fdpsim.WorkloadAbout(res.Workload))
 	fmt.Printf("prefetcher : %s (%s)\n", res.Prefetcher, mode)
 	fmt.Printf("IPC        : %.4f\n", res.IPC)
 	fmt.Printf("BPKI       : %.2f\n", res.BPKI)
 	fmt.Printf("accuracy   : %.1f%%   lateness: %.1f%%   pollution: %.1f%%\n",
 		100*res.Accuracy, 100*res.Lateness, 100*res.Pollution)
+	fmt.Printf("elapsed    : %s\n", res.Elapsed.Round(time.Millisecond))
 	if *fdp {
 		fmt.Printf("intervals  : %d   final level: %d (%s)\n",
 			res.Intervals, res.FinalLevel, prefetch.LevelName(res.FinalLevel))
@@ -195,4 +270,5 @@ func main() {
 			c.PrefIssued, c.PrefDropped, c.PrefSent, c.PrefUsed, c.PrefLate, c.PrefetchFilled)
 		fmt.Printf("pollution hits=%d useful evictions=%d\n", c.PollutionHits, c.UsefulEvicted)
 	}
+	os.Exit(code)
 }

@@ -70,15 +70,18 @@ func main() {
 	const insts = 400_000
 
 	run := func(label string, dynamic bool) {
-		var cfg fdpsim.Config
-		if dynamic {
-			cfg = fdpsim.WithFDP(fdpsim.PrefCustom)
-		} else {
-			cfg = fdpsim.Conventional(fdpsim.PrefCustom, 5)
+		opts := []fdpsim.Option{
+			fdpsim.WithCustomPrefetcher(&naivePrefetcher{level: 3}),
+			fdpsim.WithInsts(insts),
+			fdpsim.WithTInterval(2048),
 		}
-		cfg.Custom = &naivePrefetcher{level: 3}
-		cfg.MaxInsts = insts
-		cfg.FDP.TInterval = 2048
+		if !dynamic {
+			opts = append(opts, fdpsim.WithFixedAggressiveness(5))
+		}
+		cfg, err := fdpsim.NewConfig(fdpsim.PrefCustom, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
 		res, err := fdpsim.RunSource(cfg, &stridedSource{})
 		if err != nil {
 			log.Fatal(err)

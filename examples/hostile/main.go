@@ -22,23 +22,31 @@ func main() {
 
 	type row struct {
 		label string
-		cfg   fdpsim.Config
+		kind  fdpsim.PrefetcherKind
+		extra []fdpsim.Option
 	}
 	rows := []row{
-		{"no prefetching", fdpsim.Default()},
-		{"very conservative", fdpsim.Conventional(fdpsim.PrefStream, 1)},
-		{"very aggressive", fdpsim.Conventional(fdpsim.PrefStream, 5)},
-		{"FDP", fdpsim.WithFDP(fdpsim.PrefStream)},
+		{"no prefetching", fdpsim.PrefNone, nil},
+		{"very conservative", fdpsim.PrefStream, []fdpsim.Option{fdpsim.WithFixedAggressiveness(1)}},
+		{"very aggressive", fdpsim.PrefStream, []fdpsim.Option{fdpsim.WithFixedAggressiveness(5)}},
+		{"FDP", fdpsim.PrefStream, nil},
 	}
 
 	fmt.Printf("workload %q: %s\n\n", workload, fdpsim.WorkloadAbout(workload))
 	fmt.Printf("%-20s %8s %8s %10s %10s\n", "configuration", "IPC", "BPKI", "accuracy", "pollution")
 	var fdpRes fdpsim.Result
 	for _, r := range rows {
-		r.cfg.Workload = workload
-		r.cfg.MaxInsts = insts
-		r.cfg.FDP.TInterval = 2048 // sample faster than the paper's 8192 for this short run
-		res, err := fdpsim.Run(r.cfg)
+		opts := append([]fdpsim.Option{
+			fdpsim.WithWorkload(workload),
+			fdpsim.WithInsts(insts),
+			// sample faster than the paper's 8192 for this short run
+			fdpsim.WithTInterval(2048),
+		}, r.extra...)
+		cfg, err := fdpsim.NewConfig(r.kind, opts...)
+		if err != nil {
+			log.Fatalf("%s: %v", r.label, err)
+		}
+		res, err := fdpsim.Run(cfg)
 		if err != nil {
 			log.Fatalf("%s: %v", r.label, err)
 		}

@@ -30,21 +30,29 @@ func main() {
 	for _, workload := range []string{"hotcold", "seqstream"} {
 		fmt.Printf("workload %q: %s\n", workload, fdpsim.WorkloadAbout(workload))
 		for _, p := range positions {
-			cfg := fdpsim.Conventional(fdpsim.PrefStream, 5)
-			cfg.Workload = workload
-			cfg.MaxInsts = insts
-			cfg.FDP.StaticInsertion = p.pos
+			cfg, err := fdpsim.NewConfig(fdpsim.PrefStream,
+				fdpsim.WithWorkload(workload),
+				fdpsim.WithInsts(insts),
+				fdpsim.WithFixedAggressiveness(5),
+				fdpsim.WithInsertion(p.pos))
+			if err != nil {
+				log.Fatal(err)
+			}
 			res, err := fdpsim.Run(cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("  insert at %-6s IPC=%.4f  BPKI=%6.1f\n", p.label, res.IPC, res.BPKI)
 		}
-		cfg := fdpsim.Conventional(fdpsim.PrefStream, 5)
-		cfg.Workload = workload
-		cfg.MaxInsts = insts
-		cfg.FDP.DynamicInsertion = true
-		cfg.FDP.TInterval = 2048
+		cfg, err := fdpsim.NewConfig(fdpsim.PrefStream,
+			fdpsim.WithWorkload(workload),
+			fdpsim.WithInsts(insts),
+			fdpsim.WithFixedAggressiveness(5),
+			fdpsim.WithTInterval(2048))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.FDP.DynamicInsertion = true // Dynamic Insertion alone, level stays pinned
 		res, err := fdpsim.Run(cfg)
 		if err != nil {
 			log.Fatal(err)

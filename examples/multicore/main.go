@@ -22,15 +22,19 @@ func main() {
 	run := func(label string, fdp bool) {
 		var mc fdpsim.MultiConfig
 		for _, w := range []string{"seqstream", "chaserand"} {
-			var cfg fdpsim.Config
-			if fdp {
-				cfg = fdpsim.WithFDP(fdpsim.PrefStream)
-				cfg.FDP.TInterval = 2048
-			} else {
-				cfg = fdpsim.Conventional(fdpsim.PrefStream, 5)
+			opts := []fdpsim.Option{
+				fdpsim.WithWorkload(w),
+				fdpsim.WithInsts(perCoreInsts),
 			}
-			cfg.Workload = w
-			cfg.MaxInsts = perCoreInsts
+			if fdp {
+				opts = append(opts, fdpsim.WithTInterval(2048))
+			} else {
+				opts = append(opts, fdpsim.WithFixedAggressiveness(5))
+			}
+			cfg, err := fdpsim.NewConfig(fdpsim.PrefStream, opts...)
+			if err != nil {
+				log.Fatal(err)
+			}
 			mc.Cores = append(mc.Cores, cfg)
 		}
 		res, err := fdpsim.RunMulti(mc)

@@ -8,14 +8,23 @@
 //
 // Quick start:
 //
-//	cfg := fdpsim.WithFDP(fdpsim.PrefStream)
-//	cfg.Workload = "seqstream"
+//	cfg, err := fdpsim.NewConfig(fdpsim.PrefStream,
+//		fdpsim.WithWorkload("seqstream"), fdpsim.WithInsts(1_000_000))
+//	if err != nil { ... }
 //	res, err := fdpsim.Run(cfg)
 //	fmt.Printf("IPC=%.3f BPKI=%.1f accuracy=%.0f%%\n",
 //		res.IPC, res.BPKI, 100*res.Accuracy)
+//
+// Runs are cancellable and observable: RunContext honors context
+// cancellation and deadlines (returning a partial Result plus an error
+// matching ErrCancelled), and WithProgress streams per-FDP-interval
+// telemetry Snapshots to a caller-supplied sink while the simulation is
+// in flight.
 package fdpsim
 
 import (
+	"context"
+
 	"fdpsim/internal/cache"
 	"fdpsim/internal/cpu"
 	"fdpsim/internal/prefetch"
@@ -76,17 +85,51 @@ const (
 	PrefCustom   = sim.PrefCustom
 )
 
+// Snapshot is one streaming progress record: per-FDP-interval IPC,
+// accuracy/lateness/pollution, aggressiveness level and insertion
+// position, plus a Final record matching the returned Result.
+type Snapshot = sim.Snapshot
+
+// ProgressFunc receives streaming Snapshots; see Config.Progress and
+// WithProgress.
+type ProgressFunc = sim.ProgressFunc
+
+// CancelError carries the stop-point metadata of a cancelled run. It
+// matches ErrCancelled and the context cause via errors.Is.
+type CancelError = sim.CancelError
+
+// Typed sentinels for errors.Is branching (CLI exit codes, retry logic).
+var (
+	// ErrUnknownWorkload reports a workload name that is not registered.
+	ErrUnknownWorkload = sim.ErrUnknownWorkload
+	// ErrInvalidConfig reports a configuration Validate rejected.
+	ErrInvalidConfig = sim.ErrInvalidConfig
+	// ErrCancelled reports a run stopped by context cancellation or
+	// deadline; such errors also match context.Canceled or
+	// context.DeadlineExceeded, and travel with a partial Result.
+	ErrCancelled = sim.ErrCancelled
+)
+
 // Default returns the paper's Table 3 baseline with no prefetcher.
-func Default() Config { return sim.Default() }
+func Default() Config {
+	cfg, _ := NewConfig(PrefNone)
+	return cfg
+}
 
 // Conventional returns the baseline plus a conventional prefetcher pinned
 // at a Table 1 aggressiveness level (1 = very conservative .. 5 = very
 // aggressive).
-func Conventional(kind PrefetcherKind, level int) Config { return sim.Conventional(kind, level) }
+func Conventional(kind PrefetcherKind, level int) Config {
+	cfg, _ := NewConfig(kind, WithFixedAggressiveness(level))
+	return cfg
+}
 
 // WithFDP returns the baseline plus a prefetcher under full FDP control
 // (Dynamic Aggressiveness and Dynamic Insertion).
-func WithFDP(kind PrefetcherKind) Config { return sim.WithFDP(kind) }
+func WithFDP(kind PrefetcherKind) Config {
+	cfg, _ := NewConfig(kind)
+	return cfg
+}
 
 // MultiConfig describes a chip-multiprocessor run: several cores with
 // private hierarchies sharing one memory bus. See sim.MultiConfig.
@@ -101,8 +144,21 @@ type CoreResult = sim.CoreResult
 // Run executes one simulation to completion.
 func Run(cfg Config) (Result, error) { return sim.Run(cfg) }
 
+// RunContext executes one simulation under a context: cancellation and
+// deadlines are observed at every FDP sampling-interval boundary, the
+// core drains to a retire boundary, and the partial Result is returned
+// together with a *CancelError wrapping ErrCancelled and the context
+// cause.
+func RunContext(ctx context.Context, cfg Config) (Result, error) { return sim.RunContext(ctx, cfg) }
+
 // RunMulti executes a multi-core simulation on a shared memory bus.
 func RunMulti(mc MultiConfig) (MultiResult, error) { return sim.RunMulti(mc) }
+
+// RunMultiContext is RunMulti under a context; Snapshot.Core identifies
+// each streaming core.
+func RunMultiContext(ctx context.Context, mc MultiConfig) (MultiResult, error) {
+	return sim.RunMultiContext(ctx, mc)
+}
 
 // SMTConfig describes hardware threads sharing one cache hierarchy,
 // prefetcher and FDP engine (the paper's Section 4.3 shared-L2 setting).
@@ -114,9 +170,20 @@ type SMTResult = sim.SMTResult
 // RunSMT executes threads over one shared hierarchy.
 func RunSMT(cfg SMTConfig) (SMTResult, error) { return sim.RunSMT(cfg) }
 
+// RunSMTContext is RunSMT under a context.
+func RunSMTContext(ctx context.Context, cfg SMTConfig) (SMTResult, error) {
+	return sim.RunSMTContext(ctx, cfg)
+}
+
 // RunSource executes one simulation over a caller-provided micro-op
 // source, enabling custom workloads and trace replay.
 func RunSource(cfg Config, src cpu.Source) (Result, error) { return sim.RunSource(cfg, src) }
+
+// RunSourceContext is RunSource under a context, with RunContext's
+// cancellation, deadline and progress-streaming semantics.
+func RunSourceContext(ctx context.Context, cfg Config, src cpu.Source) (Result, error) {
+	return sim.RunSourceContext(ctx, cfg, src)
+}
 
 // Workloads returns all registered workload names.
 func Workloads() []string { return workload.Names() }

@@ -141,6 +141,12 @@ type FDP struct {
 	// each interval boundary (even if unchanged).
 	OnLevel func(level int)
 
+	// OnInterval, when set, receives every completed sampling interval's
+	// record as it closes — the streaming counterpart of History. It is
+	// called synchronously from the eviction path, so it must be cheap
+	// and must not re-enter the engine.
+	OnInterval func(rec IntervalRecord)
+
 	// LevelDist and InsertDist feed Figures 6 and 8: the former counts
 	// sampling intervals per counter value, the latter counts prefetch
 	// insertions per stack position.
@@ -329,17 +335,27 @@ func (f *FDP) endInterval() {
 	}
 	f.LevelDist.Add(f.level - 1)
 
-	if f.KeepHistory {
-		f.History = append(f.History, IntervalRecord{
+	if f.KeepHistory || f.OnInterval != nil {
+		rec := IntervalRecord{
 			Accuracy:  accuracy,
 			Lateness:  lateness,
 			Pollution: pollution,
 			Case:      pc,
 			Level:     f.level,
 			Insertion: f.insertion,
-		})
+		}
+		if f.KeepHistory {
+			f.History = append(f.History, rec)
+		}
+		if f.OnInterval != nil {
+			f.OnInterval(rec)
+		}
 	}
 }
+
+// Insertion returns the stack position currently chosen for prefetch
+// fills without recording it in the Figure 8 distribution.
+func (f *FDP) Insertion() cache.InsertPos { return f.insertion }
 
 func safeDiv(n, d uint64) float64 {
 	if d == 0 {

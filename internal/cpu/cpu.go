@@ -89,6 +89,7 @@ type CPU struct {
 	retiredLoads  uint64
 	retiredStores uint64
 	dispatched    uint64
+	halted        bool
 
 	// stallROBFull counts cycles dispatch made no progress with a full ROB.
 	stallROBFull uint64
@@ -137,6 +138,19 @@ func (c *CPU) StallROBFull() uint64 { return c.stallROBFull }
 // entry point. Must be called before the first Tick.
 func (c *CPU) SetFetch(f FetchFunc) { c.fetch = f }
 
+// Halt stops dispatch so the pipeline can drain: subsequent Ticks keep
+// issuing and retiring in-flight instructions but admit no new ones.
+// Together with InFlight this lets a runner stop the simulation at a
+// retire boundary — every counted instruction fully executed — instead of
+// truncating mid-flight work.
+func (c *CPU) Halt() { c.halted = true }
+
+// Halted reports whether dispatch has been stopped by Halt.
+func (c *CPU) Halted() bool { return c.halted }
+
+// InFlight returns the number of instructions occupying the ROB.
+func (c *CPU) InFlight() int { return c.count }
+
 // StallFetch returns cycles in which dispatch was blocked waiting for an
 // instruction block.
 func (c *CPU) StallFetch() uint64 { return c.stallFetch }
@@ -182,6 +196,9 @@ func (c *CPU) issue() {
 }
 
 func (c *CPU) dispatch() {
+	if c.halted {
+		return
+	}
 	progressed := false
 	for n := 0; n < c.cfg.Width && c.count < len(c.rob); n++ {
 		if c.fetchStalled {

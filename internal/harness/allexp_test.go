@@ -1,6 +1,9 @@
 package harness
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestEveryExperimentRunsAtSmallScale executes every registered experiment
 // end-to-end at a tiny instruction budget: a structural regression test
@@ -15,7 +18,7 @@ func TestEveryExperimentRunsAtSmallScale(t *testing.T) {
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tables, err := e.Run(p)
+			tables, err := e.Run(context.Background(), p)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}

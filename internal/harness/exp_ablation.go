@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"fdpsim/internal/sim"
@@ -27,11 +28,11 @@ var ablationWorkloads = []string{"seqstream", "chaserand", "randsparse", "mixedp
 
 // summarize runs FDP with a mutated configuration over the ablation
 // subset and returns (gmean IPC, amean BPKI).
-func summarize(p Params, mutate func(*sim.Config)) (float64, float64, error) {
+func summarize(ctx context.Context, p Params, mutate func(*sim.Config)) (float64, float64, error) {
 	cfg := fullFDP(sim.PrefStream)
 	mutate(&cfg)
 	configs := map[string]sim.Config{"x": cfg}
-	g, err := RunAll(labeled(ablationWorkloads, configs, []string{"x"}, p), p.Workers)
+	g, err := RunAll(ctx, labeled(ablationWorkloads, configs, []string{"x"}, p), p)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -44,7 +45,7 @@ func summarize(p Params, mutate func(*sim.Config)) (float64, float64, error) {
 	return stats.GeoMean(ipcs), stats.ArithMean(bpkis), nil
 }
 
-func runThresholds(p Params) ([]Table, error) {
+func runThresholds(ctx context.Context, p Params) ([]Table, error) {
 	t := Table{
 		Title: "Ablation: FDP accuracy-threshold sensitivity (gmean IPC / amean BPKI over 5 workloads)",
 		Note: "the paper uses untuned static thresholds and argues the mechanism is robust; " +
@@ -53,7 +54,7 @@ func runThresholds(p Params) ([]Table, error) {
 	}
 	for _, th := range [][2]float64{{0.20, 0.60}, {0.40, 0.75}, {0.40, 0.90}, {0.60, 0.90}} {
 		lo, hi := th[0], th[1]
-		ipc, bpki, err := summarize(p, func(c *sim.Config) {
+		ipc, bpki, err := summarize(ctx, p, func(c *sim.Config) {
 			c.FDP.Thresholds.ALow = lo
 			c.FDP.Thresholds.AHigh = hi
 		})
@@ -69,7 +70,7 @@ func runThresholds(p Params) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func runTInterval(p Params) ([]Table, error) {
+func runTInterval(ctx context.Context, p Params) ([]Table, error) {
 	t := Table{
 		Title: "Ablation: FDP sampling-interval length (gmean IPC / amean BPKI over 5 workloads)",
 		Note: "short intervals adapt faster but on noisier estimates; the paper's 8192 " +
@@ -77,7 +78,7 @@ func runTInterval(p Params) ([]Table, error) {
 		Header: []string{"T_interval", "IPC", "BPKI", "intervals(chaserand)"},
 	}
 	for _, ti := range []uint64{256, 1024, 4096, 8192} {
-		ipc, bpki, err := summarize(p, func(c *sim.Config) { c.FDP.TInterval = ti })
+		ipc, bpki, err := summarize(ctx, p, func(c *sim.Config) { c.FDP.TInterval = ti })
 		if err != nil {
 			return nil, err
 		}
@@ -85,7 +86,7 @@ func runTInterval(p Params) ([]Table, error) {
 		cfg := p.apply(fullFDP(sim.PrefStream))
 		cfg.FDP.TInterval = ti
 		cfg.Workload = "chaserand"
-		g, err := RunAll([]RunSpec{{Workload: "chaserand", Config: "i", Cfg: cfg}}, p.Workers)
+		g, err := RunAll(ctx, []RunSpec{{Workload: "chaserand", Config: "i", Cfg: cfg}}, p)
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +96,7 @@ func runTInterval(p Params) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func runFilterSize(p Params) ([]Table, error) {
+func runFilterSize(ctx context.Context, p Params) ([]Table, error) {
 	t := Table{
 		Title: "Ablation: pollution-filter size (gmean IPC / amean BPKI over 5 workloads)",
 		Note: "smaller filters alias more (overestimating pollution); the paper provisions " +
@@ -103,14 +104,14 @@ func runFilterSize(p Params) ([]Table, error) {
 		Header: []string{"filter bits", "IPC", "BPKI", "pollution(chaserand)"},
 	}
 	for _, bits := range []int{512, 1024, 4096, 16384} {
-		ipc, bpki, err := summarize(p, func(c *sim.Config) { c.FDP.FilterBits = bits })
+		ipc, bpki, err := summarize(ctx, p, func(c *sim.Config) { c.FDP.FilterBits = bits })
 		if err != nil {
 			return nil, err
 		}
 		cfg := p.apply(fullFDP(sim.PrefStream))
 		cfg.FDP.FilterBits = bits
 		cfg.Workload = "chaserand"
-		g, err := RunAll([]RunSpec{{Workload: "chaserand", Config: "f", Cfg: cfg}}, p.Workers)
+		g, err := RunAll(ctx, []RunSpec{{Workload: "chaserand", Config: "f", Cfg: cfg}}, p)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +121,7 @@ func runFilterSize(p Params) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func runBusWidth(p Params) ([]Table, error) {
+func runBusWidth(ctx context.Context, p Params) ([]Table, error) {
 	// Section 4.3: "In systems where bandwidth contention is estimated to
 	// be higher, A_high and A_low thresholds can be increased to restrict
 	// the prefetcher from being too aggressive." Halve the bus bandwidth
@@ -141,7 +142,7 @@ func runBusWidth(p Params) ([]Table, error) {
 		{"half (2.25 GB/s)", 114, true},
 	} {
 		th := "default"
-		ipc, bpki, err := summarize(p, func(c *sim.Config) {
+		ipc, bpki, err := summarize(ctx, p, func(c *sim.Config) {
 			c.DRAM.Transfer = v.transfer
 			if v.raise {
 				c.FDP.Thresholds.ALow = 0.60

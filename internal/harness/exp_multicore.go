@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"fdpsim/internal/sim"
@@ -20,7 +21,7 @@ func init() {
 	registerExperiment("hybrid", "Extension: FDP on a stream+stride hybrid prefetcher", runHybrid)
 }
 
-func runMulticore(p Params) ([]Table, error) {
+func runMulticore(ctx context.Context, p Params) ([]Table, error) {
 	type scenario struct {
 		name      string
 		workloads []string
@@ -59,7 +60,7 @@ func runMulticore(p Params) ([]Table, error) {
 			for _, w := range sc.workloads {
 				mc.Cores = append(mc.Cores, mkCfg(mode, w))
 			}
-			res, err := sim.RunMulti(mc)
+			res, err := sim.RunMultiContext(ctx, mc)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", sc.name, mode, err)
 			}
@@ -83,7 +84,7 @@ func runMulticore(p Params) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func runDahlgren(p Params) ([]Table, error) {
+func runDahlgren(ctx context.Context, p Params) ([]Table, error) {
 	order := []string{cfgNoPref, "NextLine", "Dahlgren", "Stream+FDP"}
 	configs := map[string]sim.Config{
 		cfgNoPref:    noPref(),
@@ -92,7 +93,7 @@ func runDahlgren(p Params) ([]Table, error) {
 		"Stream+FDP": fullFDP(sim.PrefStream),
 	}
 	ws := ablationWorkloads
-	g, err := RunAll(labeled(ws, configs, order, p), p.Workers)
+	g, err := RunAll(ctx, labeled(ws, configs, order, p), p)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +105,7 @@ func runDahlgren(p Params) ([]Table, error) {
 	return []Table{ipc, bpki}, nil
 }
 
-func runHybrid(p Params) ([]Table, error) {
+func runHybrid(ctx context.Context, p Params) ([]Table, error) {
 	order := []string{"Stream+FDP", "Stride+FDP", "Hybrid VA", "Hybrid+FDP"}
 	configs := map[string]sim.Config{
 		"Stream+FDP": fullFDP(sim.PrefStream),
@@ -113,7 +114,7 @@ func runHybrid(p Params) ([]Table, error) {
 		"Hybrid+FDP": fullFDP(sim.PrefHybrid),
 	}
 	ws := []string{"seqstream", "transpose", "stride3", "chaserand", "mixedphase", "spmv"}
-	g, err := RunAll(labeled(ws, configs, order, p), p.Workers)
+	g, err := RunAll(ctx, labeled(ws, configs, order, p), p)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"fdpsim/internal/core"
@@ -28,7 +29,7 @@ func init() {
 	registerExperiment("table6", "Hardware cost of FDP (Table 6)", runTable6)
 }
 
-func prefCacheGrid(p Params) (*Grid, []string, []string, error) {
+func prefCacheGrid(ctx context.Context, p Params) (*Grid, []string, []string, error) {
 	order := []string{cfgNoPref, "VA(base)", "VA+pc2KB", "VA+pc8KB", "VA+pc32KB", "VA+pc64KB", "VA+pc1MB", cfgFDP}
 	configs := map[string]sim.Config{
 		cfgNoPref:   noPref(),
@@ -41,12 +42,12 @@ func prefCacheGrid(p Params) (*Grid, []string, []string, error) {
 		cfgFDP:      fullFDP(sim.PrefStream),
 	}
 	ws := workload.MemoryIntensive()
-	g, err := RunAll(labeled(ws, configs, order, p), p.Workers)
+	g, err := RunAll(ctx, labeled(ws, configs, order, p), p)
 	return g, ws, order, err
 }
 
-func runFig11(p Params) ([]Table, error) {
-	g, ws, order, err := prefCacheGrid(p)
+func runFig11(ctx context.Context, p Params) ([]Table, error) {
+	g, ws, order, err := prefCacheGrid(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -55,8 +56,8 @@ func runFig11(p Params) ([]Table, error) {
 		ws, order, g, ipcOf, f3, true)}, nil
 }
 
-func runFig12(p Params) ([]Table, error) {
-	g, ws, order, err := prefCacheGrid(p)
+func runFig12(ctx context.Context, p Params) ([]Table, error) {
+	g, ws, order, err := prefCacheGrid(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +68,7 @@ func runFig12(p Params) ([]Table, error) {
 
 // altPrefetcherTables runs the Figure 13 / Section 5.8 comparison for a
 // non-stream prefetcher.
-func altPrefetcherTables(p Params, kind sim.PrefetcherKind, title, note string) ([]Table, error) {
+func altPrefetcherTables(ctx context.Context, p Params, kind sim.PrefetcherKind, title, note string) ([]Table, error) {
 	order := []string{cfgNoPref, cfgVC, cfgMid, cfgVA, cfgFDP}
 	configs := map[string]sim.Config{
 		cfgNoPref: noPref(),
@@ -77,7 +78,7 @@ func altPrefetcherTables(p Params, kind sim.PrefetcherKind, title, note string) 
 		cfgFDP:    fullFDP(kind),
 	}
 	ws := workload.MemoryIntensive()
-	g, err := RunAll(labeled(ws, configs, order, p), p.Workers)
+	g, err := RunAll(ctx, labeled(ws, configs, order, p), p)
 	if err != nil {
 		return nil, err
 	}
@@ -86,19 +87,19 @@ func altPrefetcherTables(p Params, kind sim.PrefetcherKind, title, note string) 
 	return []Table{ipc, bpki}, nil
 }
 
-func runFig13(p Params) ([]Table, error) {
-	return altPrefetcherTables(p, sim.PrefGHB,
+func runFig13(ctx context.Context, p Params) ([]Table, error) {
+	return altPrefetcherTables(ctx, p, sim.PrefGHB,
 		"Figure 13: FDP on the GHB C/DC delta-correlation prefetcher",
 		"paper: FDP ~ best conventional GHB config with 20.8% less bandwidth; +9.9% IPC vs. equal-bandwidth config")
 }
 
-func runStride(p Params) ([]Table, error) {
-	return altPrefetcherTables(p, sim.PrefStride,
+func runStride(ctx context.Context, p Params) ([]Table, error) {
+	return altPrefetcherTables(ctx, p, sim.PrefStride,
 		"Section 5.8: FDP on a PC-based stride prefetcher",
 		"paper: +4% IPC and -24% bandwidth vs. the best conventional stride configuration")
 }
 
-func runTable7(p Params) ([]Table, error) {
+func runTable7(ctx context.Context, p Params) ([]Table, error) {
 	type point struct {
 		label    string
 		l2Blocks int
@@ -142,7 +143,7 @@ func runTable7(p Params) ([]Table, error) {
 			cfgVA:  mk(static(sim.PrefStream, 5)),
 			cfgFDP: mk(fullFDP(sim.PrefStream)),
 		}
-		g, err := RunAll(labeled(ws, configs, []string{cfgMid, cfgVA, cfgFDP}, p), p.Workers)
+		g, err := RunAll(ctx, labeled(ws, configs, []string{cfgMid, cfgVA, cfgFDP}, p), p)
 		if err != nil {
 			return nil, err
 		}
@@ -163,7 +164,7 @@ func runTable7(p Params) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func runFig14(p Params) ([]Table, error) {
+func runFig14(ctx context.Context, p Params) ([]Table, error) {
 	order := []string{cfgNoPref, cfgVC, cfgMid, cfgVA, cfgFDP}
 	configs := map[string]sim.Config{
 		cfgNoPref: noPref(),
@@ -173,7 +174,7 @@ func runFig14(p Params) ([]Table, error) {
 		cfgFDP:    fullFDP(sim.PrefStream),
 	}
 	ws := workload.LowPotential()
-	g, err := RunAll(labeled(ws, configs, order, p), p.Workers)
+	g, err := RunAll(ctx, labeled(ws, configs, order, p), p)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +186,7 @@ func runFig14(p Params) ([]Table, error) {
 	return []Table{ipc, bpki}, nil
 }
 
-func runTable1(Params) ([]Table, error) {
+func runTable1(context.Context, Params) ([]Table, error) {
 	t := Table{
 		Title:  "Table 1: stream prefetcher aggressiveness configurations",
 		Header: []string{"counter", "name", "distance", "degree"},
@@ -206,7 +207,7 @@ func runTable1(Params) ([]Table, error) {
 	return []Table{t, g}, nil
 }
 
-func runTable2(Params) ([]Table, error) {
+func runTable2(context.Context, Params) ([]Table, error) {
 	t := Table{
 		Title:  "Table 2: using accuracy, lateness and pollution to adjust aggressiveness",
 		Header: []string{"case", "accuracy", "lateness", "pollution", "update", "reason"},
@@ -224,7 +225,7 @@ func runTable2(Params) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func runTable3(Params) ([]Table, error) {
+func runTable3(context.Context, Params) ([]Table, error) {
 	cfg := sim.Default()
 	t := Table{
 		Title:  "Table 3: baseline processor configuration",
@@ -244,7 +245,7 @@ func runTable3(Params) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func runTable6(Params) ([]Table, error) {
+func runTable6(context.Context, Params) ([]Table, error) {
 	cfg := sim.Default()
 	fdp := defaultFDPConfig()
 	cost := core.CostFor(cfg.L2Blocks, cfg.MSHRs, fdp.FilterBits, float64(cfg.L2Blocks*64)/1024)

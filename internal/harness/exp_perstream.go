@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fdpsim/internal/sim"
 	"fdpsim/internal/workload"
 )
@@ -17,7 +18,7 @@ func init() {
 	registerExperiment("perstream", "Extension: per-stream ramping vs. global feedback (footnote 8)", runPerStream)
 }
 
-func runPerStream(p Params) ([]Table, error) {
+func runPerStream(ctx context.Context, p Params) ([]Table, error) {
 	order := []string{cfgVA, "VA+Ramp", cfgFDP, "FDP+Ramp"}
 	ramped := func(cfg sim.Config) sim.Config {
 		cfg.PerStreamRamp = true
@@ -30,7 +31,7 @@ func runPerStream(p Params) ([]Table, error) {
 		"FDP+Ramp": ramped(fullFDP(sim.PrefStream)),
 	}
 	ws := workload.MemoryIntensive()
-	g, err := RunAll(labeled(ws, configs, order, p), p.Workers)
+	g, err := RunAll(ctx, labeled(ws, configs, order, p), p)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"fdpsim/internal/sim"
@@ -19,7 +20,7 @@ func init() {
 	registerExperiment("sharedl2", "Extension: threads sharing one L2, reduced pollution thresholds (Section 4.3)", runSharedL2)
 }
 
-func runSharedL2(p Params) ([]Table, error) {
+func runSharedL2(ctx context.Context, p Params) ([]Table, error) {
 	pairs := [][2]string{
 		{"seqstream", "hotcold"},
 		{"seqstream", "chaserand"},
@@ -52,7 +53,7 @@ func runSharedL2(p Params) ([]Table, error) {
 			base = p.apply(base)
 			base.WarmupInsts = 0 // unsupported in SMT mode
 			base.MaxInsts = p.Insts / 2
-			res, err := sim.RunSMT(sim.SMTConfig{Base: base, Workloads: pair[:]})
+			res, err := sim.RunSMTContext(ctx, sim.SMTConfig{Base: base, Workloads: pair[:]})
 			if err != nil {
 				return nil, fmt.Errorf("%v/%s: %w", pair, v.name, err)
 			}

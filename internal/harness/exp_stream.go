@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"fdpsim/internal/sim"
@@ -59,7 +60,7 @@ func ipcOf(r sim.Result) float64  { return r.IPC }
 func bpkiOf(r sim.Result) float64 { return r.BPKI }
 
 // aggressivenessGrid runs the 4-configuration comparison of Figures 1-3.
-func aggressivenessGrid(p Params) (*Grid, []string, []string, error) {
+func aggressivenessGrid(ctx context.Context, p Params) (*Grid, []string, []string, error) {
 	order := []string{cfgNoPref, cfgVC, cfgMid, cfgVA}
 	configs := map[string]sim.Config{
 		cfgNoPref: noPref(),
@@ -68,12 +69,12 @@ func aggressivenessGrid(p Params) (*Grid, []string, []string, error) {
 		cfgVA:     static(sim.PrefStream, 5),
 	}
 	workloads := workload.MemoryIntensive()
-	g, err := RunAll(labeled(workloads, configs, order, p), p.Workers)
+	g, err := RunAll(ctx, labeled(workloads, configs, order, p), p)
 	return g, workloads, order, err
 }
 
-func runFig1(p Params) ([]Table, error) {
-	g, ws, order, err := aggressivenessGrid(p)
+func runFig1(ctx context.Context, p Params) ([]Table, error) {
+	g, ws, order, err := aggressivenessGrid(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -84,8 +85,8 @@ func runFig1(p Params) ([]Table, error) {
 	}, nil
 }
 
-func runFig2(p Params) ([]Table, error) {
-	g, ws, order, err := aggressivenessGrid(p)
+func runFig2(ctx context.Context, p Params) ([]Table, error) {
+	g, ws, order, err := aggressivenessGrid(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -98,8 +99,8 @@ func runFig2(p Params) ([]Table, error) {
 	}, nil
 }
 
-func runFig3(p Params) ([]Table, error) {
-	g, ws, order, err := aggressivenessGrid(p)
+func runFig3(ctx context.Context, p Params) ([]Table, error) {
+	g, ws, order, err := aggressivenessGrid(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +113,7 @@ func runFig3(p Params) ([]Table, error) {
 	}, nil
 }
 
-func runFig5(p Params) ([]Table, error) {
+func runFig5(ctx context.Context, p Params) ([]Table, error) {
 	order := []string{cfgNoPref, cfgVC, cfgMid, cfgVA, cfgDynAggr}
 	configs := map[string]sim.Config{
 		cfgNoPref:  noPref(),
@@ -122,7 +123,7 @@ func runFig5(p Params) ([]Table, error) {
 		cfgDynAggr: dynAggr(sim.PrefStream),
 	}
 	ws := workload.MemoryIntensive()
-	g, err := RunAll(labeled(ws, configs, order, p), p.Workers)
+	g, err := RunAll(ctx, labeled(ws, configs, order, p), p)
 	if err != nil {
 		return nil, err
 	}
@@ -133,10 +134,10 @@ func runFig5(p Params) ([]Table, error) {
 	}, nil
 }
 
-func runFig6(p Params) ([]Table, error) {
+func runFig6(ctx context.Context, p Params) ([]Table, error) {
 	ws := workload.MemoryIntensive()
 	configs := map[string]sim.Config{cfgDynAggr: dynAggr(sim.PrefStream)}
-	g, err := RunAll(labeled(ws, configs, []string{cfgDynAggr}, p), p.Workers)
+	g, err := RunAll(ctx, labeled(ws, configs, []string{cfgDynAggr}, p), p)
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +158,7 @@ func runFig6(p Params) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func runFig7(p Params) ([]Table, error) {
+func runFig7(ctx context.Context, p Params) ([]Table, error) {
 	order := []string{"LRU", "LRU-4", "MID", "MRU", "DynIns"}
 	configs := map[string]sim.Config{
 		"LRU":    staticIns(sim.PrefStream, 0),
@@ -167,7 +168,7 @@ func runFig7(p Params) ([]Table, error) {
 		"DynIns": dynIns(sim.PrefStream),
 	}
 	ws := workload.MemoryIntensive()
-	g, err := RunAll(labeled(ws, configs, order, p), p.Workers)
+	g, err := RunAll(ctx, labeled(ws, configs, order, p), p)
 	if err != nil {
 		return nil, err
 	}
@@ -178,10 +179,10 @@ func runFig7(p Params) ([]Table, error) {
 	}, nil
 }
 
-func runFig8(p Params) ([]Table, error) {
+func runFig8(ctx context.Context, p Params) ([]Table, error) {
 	ws := workload.MemoryIntensive()
 	configs := map[string]sim.Config{"DynIns": dynIns(sim.PrefStream)}
-	g, err := RunAll(labeled(ws, configs, []string{"DynIns"}, p), p.Workers)
+	g, err := RunAll(ctx, labeled(ws, configs, []string{"DynIns"}, p), p)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +201,7 @@ func runFig8(p Params) ([]Table, error) {
 }
 
 // overallGrid runs Figure 9/10's five configurations.
-func overallGrid(p Params) (*Grid, []string, []string, error) {
+func overallGrid(ctx context.Context, p Params) (*Grid, []string, []string, error) {
 	order := []string{cfgNoPref, cfgVA, cfgDynIns, cfgDynAggr, cfgFDP}
 	configs := map[string]sim.Config{
 		cfgNoPref:  noPref(),
@@ -210,12 +211,12 @@ func overallGrid(p Params) (*Grid, []string, []string, error) {
 		cfgFDP:     fullFDP(sim.PrefStream),
 	}
 	ws := workload.MemoryIntensive()
-	g, err := RunAll(labeled(ws, configs, order, p), p.Workers)
+	g, err := RunAll(ctx, labeled(ws, configs, order, p), p)
 	return g, ws, order, err
 }
 
-func runFig9(p Params) ([]Table, error) {
-	g, ws, order, err := overallGrid(p)
+func runFig9(ctx context.Context, p Params) ([]Table, error) {
+	g, ws, order, err := overallGrid(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -225,8 +226,8 @@ func runFig9(p Params) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func runFig10(p Params) ([]Table, error) {
-	g, ws, order, err := overallGrid(p)
+func runFig10(ctx context.Context, p Params) ([]Table, error) {
+	g, ws, order, err := overallGrid(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -236,10 +237,10 @@ func runFig10(p Params) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func runTable4(p Params) ([]Table, error) {
+func runTable4(ctx context.Context, p Params) ([]Table, error) {
 	ws := workload.Names()
 	configs := map[string]sim.Config{cfgVA: static(sim.PrefStream, 5)}
-	g, err := RunAll(labeled(ws, configs, []string{cfgVA}, p), p.Workers)
+	g, err := RunAll(ctx, labeled(ws, configs, []string{cfgVA}, p), p)
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +260,7 @@ func runTable4(p Params) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func runTable5(p Params) ([]Table, error) {
+func runTable5(ctx context.Context, p Params) ([]Table, error) {
 	order := []string{cfgNoPref, cfgVC, cfgMid, cfgVA, cfgFDP}
 	configs := map[string]sim.Config{
 		cfgNoPref: noPref(),
@@ -269,7 +270,7 @@ func runTable5(p Params) ([]Table, error) {
 		cfgFDP:    fullFDP(sim.PrefStream),
 	}
 	ws := workload.MemoryIntensive()
-	g, err := RunAll(labeled(ws, configs, order, p), p.Workers)
+	g, err := RunAll(ctx, labeled(ws, configs, order, p), p)
 	if err != nil {
 		return nil, err
 	}
@@ -305,7 +306,7 @@ func runTable5(p Params) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func runAccuracyOnly(p Params) ([]Table, error) {
+func runAccuracyOnly(ctx context.Context, p Params) ([]Table, error) {
 	order := []string{cfgVA, cfgAccOnly, cfgFDP}
 	configs := map[string]sim.Config{
 		cfgVA:      static(sim.PrefStream, 5),
@@ -313,7 +314,7 @@ func runAccuracyOnly(p Params) ([]Table, error) {
 		cfgFDP:     fullFDP(sim.PrefStream),
 	}
 	ws := workload.MemoryIntensive()
-	g, err := RunAll(labeled(ws, configs, order, p), p.Workers)
+	g, err := RunAll(ctx, labeled(ws, configs, order, p), p)
 	if err != nil {
 		return nil, err
 	}

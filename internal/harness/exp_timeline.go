@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"fdpsim/internal/sim"
@@ -16,11 +17,11 @@ func init() {
 	registerExperiment("timeline", "Extension: FDP interval-by-interval adaptation trace (mixedphase)", runTimeline)
 }
 
-func runTimeline(p Params) ([]Table, error) {
+func runTimeline(ctx context.Context, p Params) ([]Table, error) {
 	cfg := p.apply(fullFDP(sim.PrefStream))
 	cfg.Workload = "mixedphase"
 	cfg.KeepFDPHistory = true
-	res, err := sim.Run(cfg)
+	res, err := sim.RunContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

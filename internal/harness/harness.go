@@ -6,6 +6,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -30,6 +32,20 @@ type Params struct {
 	TInterval uint64
 	Seed      uint64
 	Workers   int
+	// Progress, when non-nil, receives live events from RunAll.
+	Progress *Progress
+}
+
+// Progress is RunAll's live event sink. Both callbacks are invoked from
+// worker goroutines — possibly concurrently — so implementations must be
+// safe for concurrent use.
+type Progress struct {
+	// OnRun fires when one simulation finishes (or fails): done counts
+	// completed sims including this one, total the sims in the experiment.
+	OnRun func(done, total int, spec RunSpec, res sim.Result, err error)
+	// OnSnapshot streams every simulation's per-FDP-interval telemetry.
+	// Memo-cached simulations replay no snapshots.
+	OnSnapshot func(spec RunSpec, s sim.Snapshot)
 }
 
 // DefaultParams returns the standard experiment sizing.
@@ -79,59 +95,125 @@ func (g *Grid) MustGet(workload, config string) sim.Result {
 	return r
 }
 
-// memo caches completed simulations by their full configuration.
+// memo caches completed simulations by their semantic configuration.
 // Simulations are deterministic, so experiments sharing cells (e.g.
 // Figures 1, 2 and 3 all simulate the same four configurations) run each
 // configuration once per process.
 var memo sync.Map // config fingerprint -> sim.Result
 
-func fingerprint(cfg sim.Config) string { return fmt.Sprintf("%+v", cfg) }
+// fingerprint derives the memo key from a configuration's semantic
+// fields. Custom-prefetcher runs are not memoizable (ok=false): the
+// prefetcher instance is opaque, stateful, and a pointer's address can
+// alias a different instance after reuse. Result-irrelevant fields (the
+// Progress sink) are excluded so equivalent configurations share a cell.
+func fingerprint(cfg sim.Config) (fp string, ok bool) {
+	if cfg.Prefetcher == sim.PrefCustom {
+		return "", false
+	}
+	cfg.Custom = nil
+	cfg.Progress = nil
+	return fmt.Sprintf("%+v", cfg), true
+}
 
 // ResetMemo clears the cross-experiment simulation cache (tests use this).
 func ResetMemo() { memo = sync.Map{} }
 
-// RunAll executes every spec across a worker pool and collects the grid.
-// The first simulation error aborts the experiment.
-func RunAll(specs []RunSpec, workers int) (*Grid, error) {
+// RunAll executes every spec across a worker pool (p.Workers wide) and
+// collects the grid. The first simulation error cancels the context every
+// in-flight run observes and stops new launches; the error returned is
+// the first real failure (a run's own cancellation error is reported only
+// when the caller's ctx itself was cancelled). Live progress streams to
+// p.Progress when set.
+func RunAll(ctx context.Context, specs []RunSpec, p Params) (*Grid, error) {
+	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	g := &Grid{results: make(map[string]sim.Result, len(specs))}
 	jobs := make(chan RunSpec)
-	errs := make(chan error, len(specs))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	// record keeps the first real failure: a later non-cancellation error
+	// replaces an earlier cancellation one, because sibling runs that were
+	// cancelled *by* the first failure race with it to report.
+	record := func(err error) {
+		mu.Lock()
+		if firstErr == nil || (errors.Is(firstErr, sim.ErrCancelled) && !errors.Is(err, sim.ErrCancelled)) {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	finished := func(spec RunSpec, res sim.Result, err error) {
+		if p.Progress == nil || p.Progress.OnRun == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		n := done
+		mu.Unlock()
+		p.Progress.OnRun(n, len(specs), spec, res, err)
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for spec := range jobs {
-				fp := fingerprint(spec.Cfg)
-				if cached, ok := memo.Load(fp); ok {
-					g.mu.Lock()
-					g.results[spec.Key()] = cached.(sim.Result)
-					g.mu.Unlock()
-					continue
+				fp, memoizable := fingerprint(spec.Cfg)
+				if memoizable {
+					if cached, ok := memo.Load(fp); ok {
+						res := cached.(sim.Result)
+						g.mu.Lock()
+						g.results[spec.Key()] = res
+						g.mu.Unlock()
+						finished(spec, res, nil)
+						continue
+					}
 				}
-				res, err := sim.Run(spec.Cfg)
+				cfg := spec.Cfg
+				if p.Progress != nil && p.Progress.OnSnapshot != nil {
+					spec := spec
+					cfg.Progress = func(s sim.Snapshot) { p.Progress.OnSnapshot(spec, s) }
+				}
+				res, err := sim.RunContext(ctx, cfg)
 				if err != nil {
-					errs <- fmt.Errorf("%s/%s: %w", spec.Workload, spec.Config, err)
+					record(fmt.Errorf("%s/%s: %w", spec.Workload, spec.Config, err))
+					finished(spec, res, err)
 					continue
 				}
-				memo.Store(fp, res)
+				if memoizable {
+					memo.Store(fp, res)
+				}
 				g.mu.Lock()
 				g.results[spec.Key()] = res
 				g.mu.Unlock()
+				finished(spec, res, nil)
 			}
 		}()
 	}
+feed:
 	for _, s := range specs {
-		jobs <- s
+		select {
+		case jobs <- s:
+		case <-ctx.Done():
+			break feed // first error or caller cancellation: launch nothing further
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		return nil, err
+	if firstErr != nil {
+		return g, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return g, fmt.Errorf("%w: %w", sim.ErrCancelled, err)
 	}
 	return g, nil
 }
@@ -140,12 +222,12 @@ func RunAll(specs []RunSpec, workers int) (*Grid, error) {
 type Experiment struct {
 	ID    string // e.g. "fig5"
 	Title string
-	Run   func(p Params) ([]Table, error)
+	Run   func(ctx context.Context, p Params) ([]Table, error)
 }
 
 var experiments []Experiment
 
-func registerExperiment(id, title string, run func(p Params) ([]Table, error)) {
+func registerExperiment(id, title string, run func(ctx context.Context, p Params) ([]Table, error)) {
 	experiments = append(experiments, Experiment{ID: id, Title: title, Run: run})
 }
 

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -41,7 +42,7 @@ func TestExperimentRegistry(t *testing.T) {
 func TestStaticTablesRender(t *testing.T) {
 	for _, id := range []string{"table1", "table2", "table3", "table6"} {
 		e, _ := Lookup(id)
-		tables, err := e.Run(Params{})
+		tables, err := e.Run(context.Background(), Params{})
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -61,7 +62,7 @@ func TestStaticTablesRender(t *testing.T) {
 
 func TestTable2RenderMatchesPaperRows(t *testing.T) {
 	e, _ := Lookup("table2")
-	tables, _ := e.Run(Params{})
+	tables, _ := e.Run(context.Background(), Params{})
 	var sb strings.Builder
 	tables[0].Render(&sb)
 	for _, frag := range []string{"best case configuration", "to save bandwidth", "Increment", "Decrement"} {
@@ -79,7 +80,7 @@ func TestRunAllParallelAndMemoized(t *testing.T) {
 		{Workload: "tinyloop", Config: "a", Cfg: withWorkload(cfg, "tinyloop")},
 		{Workload: "cachefit", Config: "a", Cfg: withWorkload(cfg, "cachefit")},
 	}
-	g, err := RunAll(specs, 2)
+	g, err := RunAll(context.Background(), specs, Params{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestRunAllParallelAndMemoized(t *testing.T) {
 		t.Fatal("empty result")
 	}
 	// Second run must return the memoized result (same values).
-	g2, err := RunAll(specs, 2)
+	g2, err := RunAll(context.Background(), specs, Params{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestRunAllPropagatesErrors(t *testing.T) {
 	cfg := sim.Default()
 	cfg.MaxInsts = 1000
 	cfg.Workload = "does-not-exist"
-	_, err := RunAll([]RunSpec{{Workload: "x", Config: "y", Cfg: cfg}}, 1)
+	_, err := RunAll(context.Background(), []RunSpec{{Workload: "x", Config: "y", Cfg: cfg}}, Params{Workers: 1})
 	if err == nil {
 		t.Fatal("bad workload did not error")
 	}
@@ -121,7 +122,7 @@ func TestSmallExperimentEndToEnd(t *testing.T) {
 	}
 	ResetMemo()
 	e, _ := Lookup("fig14")
-	tables, err := e.Run(testParams())
+	tables, err := e.Run(context.Background(), testParams())
 	if err != nil {
 		t.Fatal(err)
 	}

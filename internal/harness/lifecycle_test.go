@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"fdpsim/internal/prefetch"
+	"fdpsim/internal/sim"
+)
+
+func TestRunAllStopsAfterFirstError(t *testing.T) {
+	ResetMemo()
+	good := sim.Default()
+	good.MaxInsts = 10_000
+	bad := good
+	bad.Workload = "does-not-exist"
+
+	specs := []RunSpec{{Workload: "bad", Config: "c", Cfg: bad}}
+	for _, w := range []string{"tinyloop", "cachefit", "seqstream", "hotcold"} {
+		specs = append(specs, RunSpec{Workload: w, Config: "c", Cfg: withWorkload(good, w)})
+	}
+
+	var mu sync.Mutex
+	completions := 0
+	p := Params{Workers: 1, Progress: &Progress{
+		OnRun: func(done, total int, spec RunSpec, res sim.Result, err error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				completions++
+			}
+		},
+	}}
+
+	_, err := RunAll(context.Background(), specs, p)
+	if err == nil {
+		t.Fatal("bad spec did not fail the grid")
+	}
+	// The first real failure is reported, not the cancellation it triggered.
+	if !errors.Is(err, sim.ErrUnknownWorkload) {
+		t.Errorf("err = %v, want ErrUnknownWorkload", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if completions >= len(specs)-1 {
+		t.Errorf("%d of %d sibling runs completed after the first error", completions, len(specs)-1)
+	}
+}
+
+func TestRunAllHonoursContext(t *testing.T) {
+	ResetMemo()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := sim.Default()
+	cfg.MaxInsts = 10_000
+	cfg.Workload = "tinyloop"
+	_, err := RunAll(ctx, []RunSpec{{Workload: "tinyloop", Config: "c", Cfg: cfg}}, Params{Workers: 1})
+	if !errors.Is(err, sim.ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunAll: err = %v", err)
+	}
+}
+
+func TestRunAllStreamsSnapshots(t *testing.T) {
+	ResetMemo()
+	cfg := sim.WithFDP(sim.PrefStream)
+	cfg.Workload = "seqstream"
+	cfg.MaxInsts = 30_000
+	cfg.FDP.TInterval = 256
+
+	var mu sync.Mutex
+	var got []sim.Snapshot
+	p := Params{Workers: 1, Progress: &Progress{
+		OnSnapshot: func(spec RunSpec, s sim.Snapshot) {
+			mu.Lock()
+			got = append(got, s)
+			mu.Unlock()
+		},
+	}}
+	if _, err := RunAll(context.Background(), []RunSpec{{Workload: "seqstream", Config: "c", Cfg: cfg}}, p); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) == 0 {
+		t.Fatal("no snapshots streamed through the harness")
+	}
+	if !got[len(got)-1].Final {
+		t.Error("final snapshot not streamed")
+	}
+}
+
+func TestFingerprintSemantics(t *testing.T) {
+	a := sim.WithFDP(sim.PrefStream)
+	a.Workload = "seqstream"
+	b := a
+	b.Progress = func(sim.Snapshot) {} // observability must not split memo entries
+	fpA, okA := fingerprint(a)
+	fpB, okB := fingerprint(b)
+	if !okA || !okB {
+		t.Fatal("builtin prefetcher configs must be memoizable")
+	}
+	if fpA != fpB {
+		t.Error("configs differing only in Progress fingerprint differently")
+	}
+
+	c := a
+	c.Workload = "chaserand"
+	if fpC, _ := fingerprint(c); fpC == fpA {
+		t.Error("different workloads share a fingerprint")
+	}
+
+	// Custom prefetcher instances carry unexported state and pointer
+	// identity; memoizing them is unsound.
+	d := a
+	d.Prefetcher = sim.PrefCustom
+	d.Custom = prefetch.NewStream(4)
+	if _, ok := fingerprint(d); ok {
+		t.Error("PrefCustom config reported as memoizable")
+	}
+}

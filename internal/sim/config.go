@@ -99,6 +99,12 @@ type Config struct {
 	// decisions in Result.History (for adaptation-timeline analysis).
 	KeepFDPHistory bool
 
+	// Progress, when set, streams one Snapshot per completed FDP sampling
+	// interval plus a Final snapshot at run end to the caller-supplied
+	// sink. Excluded from JSON round-trips (functions do not serialize)
+	// and from the harness memo fingerprint (it does not affect results).
+	Progress ProgressFunc `json:"-"`
+
 	// MaxCycles aborts a run that stops making progress (safety valve).
 	MaxCycles uint64
 }
@@ -157,28 +163,29 @@ func WithFDP(kind PrefetcherKind) Config {
 	return cfg
 }
 
-// Validate sanity-checks structural parameters.
+// Validate sanity-checks structural parameters. Every failure wraps
+// ErrInvalidConfig, so callers can branch with errors.Is.
 func (c *Config) Validate() error {
 	if c.MaxInsts == 0 {
-		return fmt.Errorf("sim: MaxInsts must be positive")
+		return fmt.Errorf("%w: MaxInsts must be positive", ErrInvalidConfig)
 	}
 	if c.L1Blocks <= 0 || c.L2Blocks <= 0 {
-		return fmt.Errorf("sim: cache sizes must be positive")
+		return fmt.Errorf("%w: cache sizes must be positive", ErrInvalidConfig)
 	}
 	if c.StaticLevel < 0 || c.StaticLevel > 5 {
-		return fmt.Errorf("sim: StaticLevel %d out of range 0..5", c.StaticLevel)
+		return fmt.Errorf("%w: StaticLevel %d out of range 0..5", ErrInvalidConfig, c.StaticLevel)
 	}
 	switch c.Prefetcher {
 	case PrefNone, PrefStream, PrefGHB, PrefStride, PrefNextLine, PrefDahlgren, PrefHybrid:
 	case PrefCustom:
 		if c.Custom == nil {
-			return fmt.Errorf("sim: PrefCustom requires Config.Custom")
+			return fmt.Errorf("%w: PrefCustom requires Config.Custom", ErrInvalidConfig)
 		}
 	default:
-		return fmt.Errorf("sim: unknown prefetcher %q", c.Prefetcher)
+		return fmt.Errorf("%w: unknown prefetcher %q", ErrInvalidConfig, c.Prefetcher)
 	}
 	if c.Prefetcher == PrefNone && c.StaticLevel != 0 {
-		return fmt.Errorf("sim: StaticLevel set without a prefetcher")
+		return fmt.Errorf("%w: StaticLevel set without a prefetcher", ErrInvalidConfig)
 	}
 	return nil
 }

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"fdpsim/internal/workload"
+)
+
+// Sentinel errors. Callers branch on them with errors.Is; every error
+// returned by the run entry points wraps exactly one of these (or a
+// context error, for cancellation).
+var (
+	// ErrInvalidConfig wraps every Config.Validate failure.
+	ErrInvalidConfig = errors.New("sim: invalid configuration")
+	// ErrUnknownWorkload wraps a request for an unregistered workload
+	// name. It is the workload package's sentinel re-exported so callers
+	// need only this package.
+	ErrUnknownWorkload = workload.ErrUnknown
+	// ErrCancelled marks a run stopped early by its context (cancellation
+	// or deadline). The concrete error is always a *CancelError, which
+	// additionally unwraps to context.Canceled or context.DeadlineExceeded.
+	ErrCancelled = errors.New("sim: run cancelled")
+)
+
+// CancelError reports a run that its context stopped before the retire
+// target. The partial Result returned alongside it is valid up to the
+// stop point. errors.Is matches both ErrCancelled and the context cause
+// (context.Canceled or context.DeadlineExceeded).
+type CancelError struct {
+	// Cause is ctx.Err() at the moment the run observed cancellation.
+	Cause error
+	// Cycle is the cycle at which the run stopped (after draining).
+	Cycle uint64
+	// Retired is how many post-warmup instructions had retired.
+	Retired uint64
+	// Target is the post-warmup retire target the run was heading for.
+	Target uint64
+}
+
+// Error implements error.
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("sim: run cancelled at cycle %d (%d of %d instructions retired): %v",
+		e.Cycle, e.Retired, e.Target, e.Cause)
+}
+
+// Unwrap exposes both the ErrCancelled sentinel and the context cause.
+func (e *CancelError) Unwrap() []error { return []error{ErrCancelled, e.Cause} }

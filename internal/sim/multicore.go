@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
+	"fdpsim/internal/core"
 	"fdpsim/internal/cpu"
 	"fdpsim/internal/mem"
 	"fdpsim/internal/stats"
@@ -23,7 +25,8 @@ type MultiConfig struct {
 // contention from still-running cores does not dilute them.
 type CoreResult struct {
 	Result
-	// FinishCycle is the cycle at which the core hit its retire target.
+	// FinishCycle is the cycle at which the core hit its retire target
+	// (or, for a Partial core, the cycle the run was cancelled).
 	FinishCycle uint64
 }
 
@@ -34,6 +37,9 @@ type MultiResult struct {
 	Cycles uint64
 	// TotalBusAccesses counts all bus transactions over the full run.
 	TotalBusAccesses uint64
+	// Partial marks a cancelled run; cores that had not reached their
+	// retire target carry Partial results snapshotted at the stop cycle.
+	Partial bool
 }
 
 // AggregateIPC returns the sum of per-core IPCs (system throughput).
@@ -50,9 +56,17 @@ func (m *MultiResult) AggregateIPC() float64 {
 // bus contention seen by laggards stays realistic) but their statistics
 // are frozen at the finish line.
 func RunMulti(mc MultiConfig) (MultiResult, error) {
+	return RunMultiContext(context.Background(), mc)
+}
+
+// RunMultiContext is RunMulti under a context: cancellation and deadlines
+// stop all cores at a retire boundary and return the partial MultiResult
+// together with a *CancelError. Each core's Config.Progress streams that
+// core's per-interval snapshots (Snapshot.Core identifies the emitter).
+func RunMultiContext(ctx context.Context, mc MultiConfig) (MultiResult, error) {
 	n := len(mc.Cores)
 	if n == 0 {
-		return MultiResult{}, fmt.Errorf("sim: multi-core run needs at least one core")
+		return MultiResult{}, fmt.Errorf("%w: multi-core run needs at least one core", ErrInvalidConfig)
 	}
 	for i := range mc.Cores {
 		if err := mc.Cores[i].Validate(); err != nil {
@@ -77,6 +91,7 @@ func RunMulti(mc MultiConfig) (MultiResult, error) {
 		warmLoads   uint64
 		warmStores  uint64
 	}
+	var cycle uint64
 	cores := make([]*coreState, n)
 	for i := range mc.Cores {
 		cfg := mc.Cores[i] // copy
@@ -94,6 +109,34 @@ func RunMulti(mc MultiConfig) (MultiResult, error) {
 			st.cpu.SetFetch(st.h.Fetch)
 		}
 		cores[i] = st
+		if progress := cfg.Progress; progress != nil {
+			st := st
+			coreID := i
+			st.h.fdp.OnInterval = func(rec core.IntervalRecord) {
+				s := Snapshot{
+					Core:      coreID,
+					Target:    st.cfg.MaxInsts,
+					Interval:  st.h.fdp.Intervals(),
+					Accuracy:  rec.Accuracy,
+					Lateness:  rec.Lateness,
+					Pollution: rec.Pollution,
+					Case:      rec.Case,
+					Level:     rec.Level,
+					Insertion: rec.Insertion,
+				}
+				if st.warmed {
+					s.Cycle = cycle - st.warmCycle
+					s.Retired = st.cpu.Retired() - st.warmRetired
+					if s.Cycle > 0 {
+						s.IPC = float64(s.Retired) / float64(s.Cycle)
+					}
+				}
+				if st.h.pf != nil {
+					s.Level = st.h.pf.Level()
+				}
+				progress(s)
+			}
+		}
 	}
 	// The shared bus dispatches start events to the owning core.
 	dram.OnStart = func(r *mem.Request) {
@@ -102,7 +145,50 @@ func RunMulti(mc MultiConfig) (MultiResult, error) {
 		}
 	}
 
-	var cycle uint64
+	// freeze snapshots a core's statistics at the current cycle — at its
+	// finish line, or at the stop cycle on cancellation.
+	freeze := func(st *coreState) {
+		st.finish = cycle
+		st.snap = *st.ctr
+		st.snap.Cycles = cycle - st.warmCycle
+		st.snap.Retired = st.cpu.Retired() - st.warmRetired
+		st.snap.RetiredLoads = st.cpu.RetiredLoads() - st.warmLoads
+		st.snap.RetiredStores = st.cpu.RetiredStores() - st.warmStores
+		st.snap.Intervals = st.h.fdp.Intervals()
+	}
+
+	collect := func(partial bool) MultiResult {
+		res := MultiResult{Cycles: cycle, Partial: partial}
+		for _, st := range cores {
+			ctr := st.snap
+			cr := CoreResult{
+				Result: Result{
+					Workload:   st.cfg.Workload,
+					Prefetcher: string(st.cfg.Prefetcher),
+					Level:      st.cfg.StaticLevel,
+					Counters:   ctr,
+					IPC:        ctr.IPC(),
+					BPKI:       ctr.BPKI(),
+					Accuracy:   ctr.Accuracy(),
+					Lateness:   ctr.Lateness(),
+					Pollution:  ctr.Pollution(),
+					LevelDist:  st.h.fdp.LevelDist,
+					InsertDist: st.h.fdp.InsertDist,
+					Intervals:  ctr.Intervals,
+					FinalLevel: st.h.fdp.Level(),
+					Partial:    !st.done,
+				},
+				FinishCycle: st.finish,
+			}
+			if st.h.pf != nil {
+				cr.FinalLevel = st.h.pf.Level()
+			}
+			res.Cores = append(res.Cores, cr)
+			res.TotalBusAccesses += st.ctr.BusAccesses()
+		}
+		return res
+	}
+
 	remaining := n
 	var lastProgress uint64
 	var lastRetiredSum uint64
@@ -117,6 +203,8 @@ func RunMulti(mc MultiConfig) (MultiResult, error) {
 		maxCycles = 50_000_000
 	}
 
+	cancellable := ctx.Done() != nil
+	var retiredMax uint64
 	for remaining > 0 {
 		cycle++
 		dram.Tick(cycle)
@@ -135,14 +223,41 @@ func RunMulti(mc MultiConfig) (MultiResult, error) {
 			}
 			if !st.done && st.warmed && st.cpu.Retired() >= st.cfg.WarmupInsts+st.cfg.MaxInsts {
 				st.done = true
-				st.finish = cycle
-				st.snap = *st.ctr
-				st.snap.Cycles = cycle - st.warmCycle
-				st.snap.Retired = st.cpu.Retired() - st.warmRetired
-				st.snap.RetiredLoads = st.cpu.RetiredLoads() - st.warmLoads
-				st.snap.RetiredStores = st.cpu.RetiredStores() - st.warmStores
-				st.snap.Intervals = st.h.fdp.Intervals()
+				freeze(st)
 				remaining--
+			}
+		}
+		if cancellable && cycle&(cancelCheckStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				// Clean stop: halt every core's dispatch, drain in-flight
+				// instructions (bounded), then freeze the laggards.
+				for _, st := range cores {
+					st.cpu.Halt()
+				}
+				for extra := 0; extra < drainBudget; extra++ {
+					inFlight := 0
+					for _, st := range cores {
+						inFlight += st.cpu.InFlight()
+					}
+					if inFlight == 0 {
+						break
+					}
+					cycle++
+					dram.Tick(cycle)
+					for _, st := range cores {
+						st.h.Tick(cycle)
+						st.cpu.Tick()
+					}
+				}
+				for _, st := range cores {
+					if !st.done {
+						freeze(st)
+						if st.cpu.Retired() > retiredMax {
+							retiredMax = st.cpu.Retired()
+						}
+					}
+				}
+				return collect(true), &CancelError{Cause: err, Cycle: cycle, Retired: retiredMax, Target: mc.Cores[0].MaxInsts}
 			}
 		}
 		if retiredSum != lastRetiredSum {
@@ -156,33 +271,5 @@ func RunMulti(mc MultiConfig) (MultiResult, error) {
 		}
 	}
 
-	res := MultiResult{Cycles: cycle}
-	for i, st := range cores {
-		ctr := st.snap
-		cr := CoreResult{
-			Result: Result{
-				Workload:   st.cfg.Workload,
-				Prefetcher: string(st.cfg.Prefetcher),
-				Level:      st.cfg.StaticLevel,
-				Counters:   ctr,
-				IPC:        ctr.IPC(),
-				BPKI:       ctr.BPKI(),
-				Accuracy:   ctr.Accuracy(),
-				Lateness:   ctr.Lateness(),
-				Pollution:  ctr.Pollution(),
-				LevelDist:  st.h.fdp.LevelDist,
-				InsertDist: st.h.fdp.InsertDist,
-				Intervals:  ctr.Intervals,
-				FinalLevel: st.h.fdp.Level(),
-			},
-			FinishCycle: st.finish,
-		}
-		if st.h.pf != nil {
-			cr.FinalLevel = st.h.pf.Level()
-		}
-		res.Cores = append(res.Cores, cr)
-		res.TotalBusAccesses += st.ctr.BusAccesses()
-		_ = i
-	}
-	return res, nil
+	return collect(false), nil
 }

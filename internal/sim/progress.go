@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"time"
+
+	"fdpsim/internal/cache"
+	"fdpsim/internal/core"
+)
+
+// Snapshot is one streaming progress record. The runner emits one
+// snapshot per completed FDP sampling interval (the paper's feedback
+// cadence) and a last one, with Final set, when the run completes or is
+// cancelled. Instruction and cycle counts are post-warmup, matching the
+// final Result; during warmup they read zero.
+type Snapshot struct {
+	// Core identifies the emitting core in multi-core runs (0 otherwise).
+	Core int
+	// Cycle is the current simulated cycle (post-warmup).
+	Cycle uint64
+	// Retired counts post-warmup retired instructions so far.
+	Retired uint64
+	// Target is the post-warmup retire target.
+	Target uint64
+	// IPC is retired/cycles so far (0 until warmup completes).
+	IPC float64
+	// Interval is the number of completed FDP sampling intervals.
+	Interval uint64
+	// Accuracy, Lateness and Pollution are the interval's classified
+	// metrics (Equation 1 decayed values at the boundary).
+	Accuracy  float64
+	Lateness  float64
+	Pollution float64
+	// Case is the Table 2 rule that fired at this boundary (zero in the
+	// Final snapshot, which closes no interval).
+	Case core.PolicyCase
+	// Level is the aggressiveness level in effect for the next interval.
+	Level int
+	// Insertion is the LRU-stack position chosen for prefetch fills.
+	Insertion cache.InsertPos
+	// Elapsed is wall-clock time since the run started.
+	Elapsed time.Duration
+	// Final marks the completion snapshot: its Retired/IPC match the
+	// returned Result (including a partial Result after cancellation).
+	Final bool
+}
+
+// ProgressFunc receives streaming Snapshots. It is called synchronously
+// from the simulation goroutine (never concurrently for one run), so it
+// must be cheap or hand off to a channel; it must not call back into the
+// running simulation.
+type ProgressFunc func(Snapshot)

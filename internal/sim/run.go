@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"fdpsim/internal/core"
 	"fdpsim/internal/cpu"
@@ -36,10 +38,36 @@ type Result struct {
 	History []core.IntervalRecord
 
 	FinalLevel int
+
+	// Partial marks a result whose run was cancelled before the retire
+	// target; all metrics are valid up to the stop point.
+	Partial bool
+	// Elapsed is the run's wall-clock duration.
+	Elapsed time.Duration
 }
+
+// cancelCheckStride bounds cancellation latency for runs that close no
+// FDP sampling intervals (cache-resident loops evict nothing): the cycle
+// loop polls ctx at least this often. Must be a power of two.
+const cancelCheckStride = 4096
+
+// drainBudget bounds the extra cycles spent retiring in-flight
+// instructions after cancellation, so a wedged memory system cannot turn
+// a cancel into a hang.
+const drainBudget = 50_000
 
 // Run executes one simulation to completion.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes one simulation under a context. Cancellation and
+// deadlines are observed at every FDP sampling-interval boundary (and at
+// least every cancelCheckStride cycles); on cancellation the core stops
+// dispatch, drains in-flight instructions to a retire boundary, and the
+// partial Result is returned together with a *CancelError that wraps both
+// ErrCancelled and the context's cause.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -47,19 +75,26 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return runWith(cfg, src)
+	return runWith(ctx, cfg, src)
 }
 
 // RunSource executes one simulation over a caller-provided micro-op source
 // (used for trace replay and custom workloads).
 func RunSource(cfg Config, src cpu.Source) (Result, error) {
+	return RunSourceContext(context.Background(), cfg, src)
+}
+
+// RunSourceContext is RunSource under a context, with RunContext's
+// cancellation, deadline and progress-streaming semantics.
+func RunSourceContext(ctx context.Context, cfg Config, src cpu.Source) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	return runWith(cfg, src)
+	return runWith(ctx, cfg, src)
 }
 
-func runWith(cfg Config, src cpu.Source) (Result, error) {
+func runWith(ctx context.Context, cfg Config, src cpu.Source) (Result, error) {
+	start := time.Now()
 	var ctr stats.Counters
 	h := newHierarchy(&cfg, &ctr)
 	h.fdp.KeepHistory = cfg.KeepFDPHistory
@@ -83,6 +118,108 @@ func runWith(cfg Config, src cpu.Source) (Result, error) {
 	var warmCycle, warmRetired, warmLoads, warmStores uint64
 	warmed := cfg.WarmupInsts == 0
 	target := cfg.WarmupInsts + cfg.MaxInsts
+
+	// Interval streaming: the FDP engine reports each closed sampling
+	// interval; the flag gates the cycle loop's cancellation poll so
+	// cancellation latency is bounded by one interval.
+	intervalClosed := false
+	h.fdp.OnInterval = func(rec core.IntervalRecord) {
+		intervalClosed = true
+		if cfg.Progress == nil {
+			return
+		}
+		s := Snapshot{
+			Target:    cfg.MaxInsts,
+			Interval:  h.fdp.Intervals(),
+			Accuracy:  rec.Accuracy,
+			Lateness:  rec.Lateness,
+			Pollution: rec.Pollution,
+			Case:      rec.Case,
+			Level:     rec.Level,
+			Insertion: rec.Insertion,
+			Elapsed:   time.Since(start),
+		}
+		if warmed {
+			s.Cycle = cycle - warmCycle
+			s.Retired = c.Retired() - warmRetired
+			if s.Cycle > 0 {
+				s.IPC = float64(s.Retired) / float64(s.Cycle)
+			}
+		}
+		if h.pf != nil {
+			s.Level = h.pf.Level()
+		}
+		cfg.Progress(s)
+	}
+
+	// finalize snapshots the counters at the current cycle, builds the
+	// Result and emits the Final progress snapshot. Shared by the normal
+	// completion path and the cancellation path.
+	finalize := func(partial bool) Result {
+		ctr.Cycles = cycle - warmCycle
+		ctr.Retired = c.Retired() - warmRetired
+		ctr.RetiredLoads = c.RetiredLoads() - warmLoads
+		ctr.RetiredStores = c.RetiredStores() - warmStores
+		ctr.StallFetch = c.StallFetch()
+		ctr.Intervals = h.fdp.Intervals()
+
+		res := Result{
+			Workload:   cfg.Workload,
+			Prefetcher: string(cfg.Prefetcher),
+			Level:      cfg.StaticLevel,
+			Counters:   ctr,
+			DRAM:       h.dram.Stats(),
+			IPC:        ctr.IPC(),
+			BPKI:       ctr.BPKI(),
+			Accuracy:   ctr.Accuracy(),
+			Lateness:   ctr.Lateness(),
+			Pollution:  ctr.Pollution(),
+			LevelDist:  h.fdp.LevelDist,
+			InsertDist: h.fdp.InsertDist,
+			Intervals:  h.fdp.Intervals(),
+			History:    h.fdp.History,
+			FinalLevel: h.fdp.Level(),
+			Partial:    partial,
+			Elapsed:    time.Since(start),
+		}
+		if h.pf != nil {
+			res.FinalLevel = h.pf.Level()
+		}
+		if cfg.Progress != nil {
+			acc, late, poll := h.fdp.Metrics()
+			cfg.Progress(Snapshot{
+				Cycle:     ctr.Cycles,
+				Retired:   ctr.Retired,
+				Target:    cfg.MaxInsts,
+				IPC:       res.IPC,
+				Interval:  res.Intervals,
+				Accuracy:  acc,
+				Lateness:  late,
+				Pollution: poll,
+				Level:     res.FinalLevel,
+				Insertion: h.fdp.Insertion(),
+				Elapsed:   res.Elapsed,
+				Final:     true,
+			})
+		}
+		return res
+	}
+
+	// cancelled performs the clean stop: dispatch halts, in-flight
+	// instructions drain to a retire boundary (bounded), and the partial
+	// result travels with the typed error.
+	cancelled := func(cause error) (Result, error) {
+		c.Halt()
+		for extra := 0; extra < drainBudget && c.InFlight() > 0; extra++ {
+			cycle++
+			h.Tick(cycle)
+			c.Tick()
+		}
+		res := finalize(true)
+		return res, &CancelError{Cause: cause, Cycle: cycle, Retired: res.Counters.Retired, Target: cfg.MaxInsts}
+	}
+
+	cancellable := ctx.Done() != nil
 	for c.Retired() < target {
 		cycle++
 		h.Tick(cycle)
@@ -95,6 +232,14 @@ func runWith(cfg Config, src cpu.Source) (Result, error) {
 			warmLoads = c.RetiredLoads()
 			warmStores = c.RetiredStores()
 			*h.ctr = stats.Counters{}
+		}
+		if intervalClosed || cycle&(cancelCheckStride-1) == 0 {
+			intervalClosed = false
+			if cancellable {
+				if err := ctx.Err(); err != nil {
+					return cancelled(err)
+				}
+			}
 		}
 		if r := c.Retired(); r != lastRetired {
 			lastRetired = r
@@ -109,32 +254,5 @@ func runWith(cfg Config, src cpu.Source) (Result, error) {
 		}
 	}
 
-	ctr.Cycles = cycle - warmCycle
-	ctr.Retired = c.Retired() - warmRetired
-	ctr.RetiredLoads = c.RetiredLoads() - warmLoads
-	ctr.RetiredStores = c.RetiredStores() - warmStores
-	ctr.StallFetch = c.StallFetch()
-	ctr.Intervals = h.fdp.Intervals()
-
-	res := Result{
-		Workload:   cfg.Workload,
-		Prefetcher: string(cfg.Prefetcher),
-		Level:      cfg.StaticLevel,
-		Counters:   ctr,
-		DRAM:       h.dram.Stats(),
-		IPC:        ctr.IPC(),
-		BPKI:       ctr.BPKI(),
-		Accuracy:   ctr.Accuracy(),
-		Lateness:   ctr.Lateness(),
-		Pollution:  ctr.Pollution(),
-		LevelDist:  h.fdp.LevelDist,
-		InsertDist: h.fdp.InsertDist,
-		Intervals:  h.fdp.Intervals(),
-		History:    h.fdp.History,
-		FinalLevel: h.fdp.Level(),
-	}
-	if h.pf != nil {
-		res.FinalLevel = h.pf.Level()
-	}
-	return res, nil
+	return finalize(false), nil
 }

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
+	"fdpsim/internal/core"
 	"fdpsim/internal/cpu"
 	"fdpsim/internal/stats"
 	"fdpsim/internal/workload"
@@ -44,6 +46,9 @@ type SMTResult struct {
 	Accuracy   float64
 	Pollution  float64
 	FinalLevel int
+	// Partial marks a cancelled run; threads that had not reached the
+	// retire target carry an IPC measured at the stop cycle.
+	Partial bool
 }
 
 // AggregateIPC returns the sum of per-thread IPCs.
@@ -81,8 +86,17 @@ func (o *offsetSource) Next() cpu.MicroOp {
 // running (preserving contention); their IPC is fixed at the finish line.
 // Base.WarmupInsts is not supported in this mode.
 func RunSMT(cfg SMTConfig) (SMTResult, error) {
+	return RunSMTContext(context.Background(), cfg)
+}
+
+// RunSMTContext is RunSMT under a context: cancellation and deadlines
+// stop every thread at a retire boundary and return the partial SMTResult
+// together with a *CancelError. Base.Progress streams the shared FDP
+// engine's per-interval snapshots (whose feedback reflects the combined
+// access stream of all threads).
+func RunSMTContext(ctx context.Context, cfg SMTConfig) (SMTResult, error) {
 	if len(cfg.Workloads) == 0 {
-		return SMTResult{}, fmt.Errorf("sim: SMT run needs at least one thread")
+		return SMTResult{}, fmt.Errorf("%w: SMT run needs at least one thread", ErrInvalidConfig)
 	}
 	base := cfg.Base
 	base.Workload = cfg.Workloads[0] // satisfy validation; sources are per-thread
@@ -90,11 +104,31 @@ func RunSMT(cfg SMTConfig) (SMTResult, error) {
 		return SMTResult{}, err
 	}
 	if base.WarmupInsts != 0 {
-		return SMTResult{}, fmt.Errorf("sim: WarmupInsts is not supported in SMT mode")
+		return SMTResult{}, fmt.Errorf("%w: WarmupInsts is not supported in SMT mode", ErrInvalidConfig)
 	}
 
 	var ctr stats.Counters
 	h := newHierarchy(&base, &ctr)
+	var cycle uint64
+	if progress := base.Progress; progress != nil {
+		h.fdp.OnInterval = func(rec core.IntervalRecord) {
+			s := Snapshot{
+				Cycle:     cycle,
+				Target:    base.MaxInsts,
+				Interval:  h.fdp.Intervals(),
+				Accuracy:  rec.Accuracy,
+				Lateness:  rec.Lateness,
+				Pollution: rec.Pollution,
+				Case:      rec.Case,
+				Level:     rec.Level,
+				Insertion: rec.Insertion,
+			}
+			if h.pf != nil {
+				s.Level = h.pf.Level()
+			}
+			progress(s)
+		}
+	}
 	type thread struct {
 		c      *cpu.CPU
 		finish uint64
@@ -119,13 +153,33 @@ func RunSMT(cfg SMTConfig) (SMTResult, error) {
 		res.Threads = append(res.Threads, ThreadResult{Workload: w})
 	}
 
-	var cycle uint64
+	collect := func(partial bool) SMTResult {
+		var totalRetired uint64
+		for _, th := range threads {
+			totalRetired += th.c.Retired()
+		}
+		ctr.Retired = totalRetired
+		ctr.Cycles = cycle
+		res.Counters = ctr
+		res.Cycles = cycle
+		res.BPKI = ctr.BPKI()
+		res.Accuracy = ctr.Accuracy()
+		res.Pollution = ctr.Pollution()
+		res.FinalLevel = h.fdp.Level()
+		res.Partial = partial
+		if h.pf != nil {
+			res.FinalLevel = h.pf.Level()
+		}
+		return res
+	}
+
 	remaining := len(threads)
 	var lastSum, lastProgress uint64
 	maxCycles := base.MaxInsts * 2000
 	if maxCycles < 50_000_000 {
 		maxCycles = 50_000_000
 	}
+	cancellable := ctx.Done() != nil
 	for remaining > 0 {
 		cycle++
 		h.Tick(cycle)
@@ -142,6 +196,44 @@ func RunSMT(cfg SMTConfig) (SMTResult, error) {
 				remaining--
 			}
 		}
+		if cancellable && cycle&(cancelCheckStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				// Clean stop: halt dispatch on every thread, drain
+				// in-flight instructions (bounded), then fix the
+				// laggards' statistics at the stop cycle.
+				for _, th := range threads {
+					th.c.Halt()
+				}
+				for extra := 0; extra < drainBudget; extra++ {
+					inFlight := 0
+					for _, th := range threads {
+						inFlight += th.c.InFlight()
+					}
+					if inFlight == 0 {
+						break
+					}
+					cycle++
+					h.Tick(cycle)
+					for _, th := range threads {
+						th.c.Tick()
+					}
+				}
+				var retiredMax uint64
+				for i, th := range threads {
+					if th.done {
+						continue
+					}
+					th.finish = cycle
+					res.Threads[i].Retired = th.c.Retired()
+					res.Threads[i].FinishCycle = cycle
+					res.Threads[i].IPC = float64(th.c.Retired()) / float64(cycle)
+					if th.c.Retired() > retiredMax {
+						retiredMax = th.c.Retired()
+					}
+				}
+				return collect(true), &CancelError{Cause: err, Cycle: cycle, Retired: retiredMax, Target: base.MaxInsts}
+			}
+		}
 		if sum != lastSum {
 			lastSum = sum
 			lastProgress = cycle
@@ -153,20 +245,5 @@ func RunSMT(cfg SMTConfig) (SMTResult, error) {
 		}
 	}
 
-	var totalRetired uint64
-	for _, th := range threads {
-		totalRetired += th.c.Retired()
-	}
-	ctr.Retired = totalRetired
-	ctr.Cycles = cycle
-	res.Counters = ctr
-	res.Cycles = cycle
-	res.BPKI = ctr.BPKI()
-	res.Accuracy = ctr.Accuracy()
-	res.Pollution = ctr.Pollution()
-	res.FinalLevel = h.fdp.Level()
-	if h.pf != nil {
-		res.FinalLevel = h.pf.Level()
-	}
-	return res, nil
+	return collect(false), nil
 }

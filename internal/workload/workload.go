@@ -12,11 +12,16 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"fdpsim/internal/cpu"
 )
+
+// ErrUnknown is the sentinel wrapped by New when asked for a workload
+// name that is not registered. Callers branch with errors.Is.
+var ErrUnknown = errors.New("workload: unknown workload")
 
 // BlockBytes is the cache-block size shared with the memory hierarchy.
 const BlockBytes = 64
@@ -182,9 +187,15 @@ func Lookup(name string) (Spec, bool) {
 func New(name string, seed uint64) (cpu.Source, error) {
 	s, ok := Lookup(name)
 	if !ok {
-		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())
+		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknown, name, Names())
 	}
 	return s.make(seed), nil
+}
+
+// Exists reports whether a workload name is registered.
+func Exists(name string) bool {
+	_, ok := Lookup(name)
+	return ok
 }
 
 // About returns the registered description for a workload.
