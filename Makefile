@@ -1,11 +1,16 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race check bench experiments fuzz clean
+.PHONY: all build build-cmds vet test test-short test-race check bench experiments serve fuzz fuzz-smoke clean
 
 all: build vet test
 
 build:
 	go build ./...
+
+# Build every binary explicitly (what CI ships); plain `go build ./...`
+# compiles main packages but discards them.
+build-cmds:
+	go build -o bin/ ./cmd/...
 
 vet:
 	go vet ./...
@@ -27,12 +32,23 @@ check: build vet test-race
 bench:
 	go test -bench=. -benchmem
 
-# Regenerate every table and figure at the documented scale.
+# Regenerate every table and figure at the documented scale. Results
+# persist in .fdpcache, so a re-run only simulates what changed.
 experiments:
-	go run ./cmd/experiments -all -insts 1000000 -warmup 250000
+	go run ./cmd/experiments -all -insts 1000000 -warmup 250000 -cache-dir .fdpcache
+
+# Run the simulation job service on :8080 with an on-disk result cache.
+serve:
+	go run ./cmd/fdpserved -addr :8080 -cache-dir .fdpcache
 
 fuzz:
 	go test ./internal/trace -run xxx -fuzz FuzzReader -fuzztime 30s
 
+# The 10-second slice CI runs on every PR, so trace-decoder fuzz
+# regressions surface before merge rather than in nightly runs.
+fuzz-smoke:
+	go test ./internal/trace -run xxx -fuzz FuzzReader -fuzztime 10s
+
 clean:
 	go clean ./...
+	rm -rf bin

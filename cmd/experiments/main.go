@@ -13,6 +13,11 @@
 // already completed have been printed, so an interrupted -all run still
 // exits cleanly with partial output. -progress streams per-simulation
 // completions and per-FDP-interval telemetry to stderr.
+//
+// -cache-dir points at a content-addressed result store (shared with
+// fdpserved): completed simulations are persisted there and re-runs of
+// the same grid — including after a crash or across machines sharing the
+// directory — are served from disk instead of re-simulating.
 package main
 
 import (
@@ -28,7 +33,9 @@ import (
 	"time"
 
 	"fdpsim"
+	"fdpsim/internal/cli"
 	"fdpsim/internal/harness"
+	"fdpsim/internal/store"
 )
 
 // reporter serializes live progress lines onto stderr.
@@ -76,6 +83,7 @@ func main() {
 		format   = flag.String("format", "text", "output format: text, csv, or chart")
 		timeout  = flag.Duration("timeout", 0, "overall deadline; expiry cancels in-flight simulations (0 = none)")
 		progress = flag.Bool("progress", false, "stream per-simulation completions and per-FDP-interval telemetry to stderr")
+		cacheDir = flag.String("cache-dir", "", "persist results in this content-addressed store; repeat runs are served from disk")
 	)
 	flag.Parse()
 
@@ -95,7 +103,7 @@ func main() {
 		ids = strings.Split(*run, ",")
 	} else {
 		fmt.Fprintln(os.Stderr, "experiments: use -list, -run <ids>, or -all")
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -118,13 +126,18 @@ func main() {
 		rep := &reporter{}
 		p.Progress = &harness.Progress{OnRun: rep.onRun, OnSnapshot: rep.onSnapshot}
 	}
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		cli.FatalIf("experiments", err)
+		p.Store = st
+	}
 
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		e, ok := harness.Lookup(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (see -list)\n", id)
-			os.Exit(2)
+			os.Exit(cli.ExitUsage)
 		}
 		start := time.Now()
 		tables, err := e.Run(ctx, p)
@@ -134,10 +147,10 @@ func main() {
 				if errors.Is(err, context.DeadlineExceeded) {
 					return // the -timeout budget is a planned stop: exit 0
 				}
-				os.Exit(130)
+				os.Exit(cli.ExitInterrupted)
 			}
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
+			os.Exit(cli.ExitError)
 		}
 		switch *format {
 		case "chart":
@@ -149,7 +162,7 @@ func main() {
 			for i := range tables {
 				if err := tables[i].RenderCSV(os.Stdout); err != nil {
 					fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-					os.Exit(1)
+					os.Exit(cli.ExitError)
 				}
 				fmt.Println()
 			}

@@ -1,0 +1,91 @@
+// Command fdpserved is the simulation job service daemon: an HTTP JSON
+// API over a bounded worker pool, with a content-addressed on-disk result
+// store so identical submissions are answered without re-simulating.
+//
+// Usage:
+//
+//	fdpserved -addr :8080 -cache-dir /var/cache/fdpsim
+//	fdpserved -addr 127.0.0.1:0 -workers 4 -queue 128 -job-timeout 5m
+//
+// API (see the README's "Running the service" section for curl examples):
+//
+//	POST   /v1/jobs             submit a job (202; 200 on a cache hit;
+//	                            429 + Retry-After when the queue is full)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        poll a job
+//	GET    /v1/jobs/{id}/events per-FDP-interval progress via SSE
+//	DELETE /v1/jobs/{id}        cancel (running jobs keep partial results)
+//	GET    /metrics             Prometheus text metrics
+//	GET    /healthz             liveness (503 while draining)
+//
+// SIGINT/SIGTERM begin a graceful shutdown: intake stops, in-flight
+// simulations are cancelled at their next FDP interval boundary (their
+// partial results are preserved and reported to pollers/SSE subscribers),
+// and the process exits once the pool drains or -drain expires.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fdpsim/internal/cli"
+	"fdpsim/internal/service"
+	"fdpsim/internal/store"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "FIFO queue depth; submissions beyond it get 429")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed result store directory (empty = in-memory cache only)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job wall-clock budget; expiry cancels at the next interval boundary (0 = none)")
+		drain      = flag.Duration("drain", 30*time.Second, "shutdown budget for draining in-flight simulations")
+	)
+	flag.Parse()
+
+	cfg := service.Config{Workers: *workers, QueueDepth: *queue, JobTimeout: *jobTimeout}
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		cli.FatalIf("fdpserved", err)
+		cfg.Store = st
+		log.Printf("fdpserved: result store at %s (%d entries)", st.Dir(), st.Len())
+	}
+	srv := service.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	cli.FatalIf("fdpserved", err)
+	log.Printf("fdpserved: listening on http://%s", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		cli.FatalIf("fdpserved", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	log.Printf("fdpserved: draining (budget %s)…", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		cli.Fatalf("fdpserved", cli.ExitError, "drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		cli.Fatalf("fdpserved", cli.ExitError, "http shutdown: %v", err)
+	}
+	log.Printf("fdpserved: drained cleanly")
+}

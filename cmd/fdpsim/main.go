@@ -10,8 +10,9 @@
 // -progress streams one line of FDP telemetry per sampling interval to
 // stderr. A SIGINT (Ctrl-C) or an expired -timeout stops the run at the
 // next interval boundary and the partial metrics are printed, marked
-// "(partial)". Exit codes: 0 success (including a -timeout stop), 2 bad
-// usage or configuration, 130 interrupted by SIGINT, 1 other errors.
+// "(partial)". Exit codes follow the shared table in internal/cli: 0
+// success (including a -timeout stop), 2 bad usage or configuration, 130
+// interrupted by SIGINT, 1 other errors.
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"fdpsim"
+	"fdpsim/internal/cli"
 	"fdpsim/internal/prefetch"
 )
 
@@ -37,23 +39,6 @@ func emitJSON(res fdpsim.Result) {
 	if err := enc.Encode(res); err != nil {
 		fmt.Fprintln(os.Stderr, "fdpsim:", err)
 		os.Exit(1)
-	}
-}
-
-// exitCode maps a run error to the documented exit codes; a nil error and
-// a deadline-stop both mean 0.
-func exitCode(err error) int {
-	switch {
-	case err == nil:
-		return 0
-	case errors.Is(err, context.DeadlineExceeded):
-		return 0 // -timeout is a planned stop, not a failure
-	case errors.Is(err, fdpsim.ErrCancelled):
-		return 130 // interrupted (SIGINT convention)
-	case errors.Is(err, fdpsim.ErrUnknownWorkload), errors.Is(err, fdpsim.ErrInvalidConfig):
-		return 2
-	default:
-		return 1
 	}
 }
 
@@ -77,7 +62,7 @@ func runMulticore(ctx context.Context, tmpl fdpsim.Config, workloads []string, j
 		mc.Cores = append(mc.Cores, cfg)
 	}
 	res, err := fdpsim.RunMultiContext(ctx, mc)
-	code := exitCode(err)
+	code := cli.ExitCode(err)
 	if err != nil && !errors.Is(err, fdpsim.ErrCancelled) {
 		fmt.Fprintln(os.Stderr, "fdpsim:", err)
 		os.Exit(code)
@@ -171,7 +156,7 @@ func main() {
 	cfg, err := fdpsim.NewConfig(kind, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fdpsim:", err)
-		os.Exit(exitCode(err))
+		os.Exit(cli.ExitCode(err))
 	}
 	if *dynIns {
 		cfg.FDP.DynamicInsertion = true
@@ -223,7 +208,7 @@ func main() {
 	}
 
 	res, err := fdpsim.RunContext(ctx, cfg)
-	code := exitCode(err)
+	code := cli.ExitCode(err)
 	if err != nil && !errors.Is(err, fdpsim.ErrCancelled) {
 		fmt.Fprintln(os.Stderr, "fdpsim:", err)
 		os.Exit(code)

@@ -3,72 +3,104 @@
 //
 // Usage:
 //
+//	tracegen -list
 //	tracegen -workload seqstream -ops 1000000 -o seqstream.trc
 //	tracegen -replay seqstream.trc -prefetcher stream -level 5
+//
+// Exit codes follow the shared table in internal/cli: 0 success, 1
+// runtime error, 2 bad usage (unknown workload or prefetcher).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fdpsim"
+	"fdpsim/internal/cli"
 	"fdpsim/internal/trace"
 	"fdpsim/internal/workload"
 )
 
+const tool = "tracegen"
+
 func main() {
 	var (
-		workloadName = flag.String("workload", "seqstream", "workload to record")
+		workloadName = flag.String("workload", "seqstream", "workload to record (see -list)")
 		ops          = flag.Uint64("ops", 1_000_000, "micro-ops to record")
 		out          = flag.String("o", "", "output trace path (default <workload>.trc)")
 		replay       = flag.String("replay", "", "replay a trace file through the simulator instead of recording")
-		prefName     = flag.String("prefetcher", "stream", "prefetcher for -replay")
+		prefName     = flag.String("prefetcher", "stream", "prefetcher for -replay (see -list)")
 		level        = flag.Int("level", 5, "aggressiveness for -replay")
 		seed         = flag.Uint64("seed", 1, "workload seed")
+		list         = flag.Bool("list", false, "list recordable workloads and replay prefetchers, then exit")
 	)
 	flag.Parse()
 
+	if *list {
+		fmt.Println("workloads (-workload):")
+		for _, w := range fdpsim.Workloads() {
+			fmt.Printf("  %-14s %s\n", w, fdpsim.WorkloadAbout(w))
+		}
+		fmt.Println("prefetchers (-prefetcher, for -replay):")
+		fmt.Printf("  %s\n", joinKinds())
+		return
+	}
+
 	if *replay != "" {
+		// Validate the prefetcher name before touching the trace file, so a
+		// typo fails in milliseconds with the valid names, not mid-replay.
+		cfg := fdpsim.Conventional(fdpsim.PrefetcherKind(*prefName), *level)
+		if err := cfg.Validate(); err != nil {
+			cli.Fatalf(tool, cli.ExitUsage, "%v\nvalid prefetchers: %s", err, joinKinds())
+		}
 		f, err := os.Open(*replay)
-		fatalIf(err)
+		cli.FatalIf(tool, err)
 		defer f.Close()
 		r, err := trace.NewReader(f)
-		fatalIf(err)
+		cli.FatalIf(tool, err)
 		r.Loop = true
-		cfg := fdpsim.Conventional(fdpsim.PrefetcherKind(*prefName), *level)
 		cfg.MaxInsts = uint64(r.Len())
 		res, err := fdpsim.RunSource(cfg, r)
-		fatalIf(err)
+		cli.FatalIf(tool, err)
 		fmt.Printf("replayed %s (%d ops): IPC=%.4f BPKI=%.2f accuracy=%.1f%%\n",
 			r.Name(), r.Len(), res.IPC, res.BPKI, 100*res.Accuracy)
 		return
 	}
 
+	// Same up-front check for the workload: no half-written trace file
+	// behind an unknown-name failure.
+	if !workload.Exists(*workloadName) {
+		cli.Fatalf(tool, cli.ExitUsage, "unknown workload %q\nvalid workloads: %s",
+			*workloadName, strings.Join(fdpsim.Workloads(), ", "))
+	}
 	src, err := workload.New(*workloadName, *seed)
-	fatalIf(err)
+	cli.FatalIf(tool, err)
 	path := *out
 	if path == "" {
 		path = *workloadName + ".trc"
 	}
 	f, err := os.Create(path)
-	fatalIf(err)
+	cli.FatalIf(tool, err)
 	w, err := trace.NewWriter(f, *workloadName)
-	fatalIf(err)
+	cli.FatalIf(tool, err)
 	for i := uint64(0); i < *ops; i++ {
-		fatalIf(w.Write(src.Next()))
+		cli.FatalIf(tool, w.Write(src.Next()))
 	}
-	fatalIf(w.Close())
-	fatalIf(f.Close())
+	cli.FatalIf(tool, w.Close())
+	cli.FatalIf(tool, f.Close())
 	st, err := os.Stat(path)
-	fatalIf(err)
+	cli.FatalIf(tool, err)
 	fmt.Printf("recorded %d ops of %s to %s (%d bytes, %.2f bits/op)\n",
 		*ops, *workloadName, path, st.Size(), 8*float64(st.Size())/float64(*ops))
 }
 
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+func joinKinds() string {
+	kinds := fdpsim.PrefetcherKinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = string(k)
 	}
+	return strings.Join(names, ", ")
 }

@@ -82,8 +82,21 @@ const (
 	PrefGHB      = sim.PrefGHB
 	PrefStride   = sim.PrefStride
 	PrefNextLine = sim.PrefNextLine
+	PrefDahlgren = sim.PrefDahlgren
+	PrefHybrid   = sim.PrefHybrid
 	PrefCustom   = sim.PrefCustom
 )
+
+// PrefetcherKinds lists the prefetchers selectable by name (PrefCustom is
+// excluded: it needs a Config.Custom instance).
+func PrefetcherKinds() []PrefetcherKind { return sim.PrefetcherKinds() }
+
+// Fingerprint returns a stable content hash of a configuration's semantic
+// fields, or ok=false for configurations whose results cannot be keyed
+// (custom prefetchers). Two configurations share a fingerprint exactly
+// when a completed run of one is a valid result for the other; the
+// harness memo and the job service's result store both key on it.
+func Fingerprint(cfg Config) (fp string, ok bool) { return sim.Fingerprint(cfg) }
 
 // Snapshot is one streaming progress record: per-FDP-interval IPC,
 // accuracy/lateness/pollution, aggressiveness level and insertion

@@ -1,0 +1,63 @@
+// Package cli holds the helpers shared by the fdpsim, experiments,
+// tracegen and fdpserved commands: the documented exit-code table and the
+// fatal-error plumbing, so every binary reports failures identically.
+//
+// Exit codes (stable; scripts may rely on them):
+//
+//	0    success — including a planned stop, such as an expired -timeout
+//	     deadline (the run was bounded on purpose, its output is valid)
+//	1    runtime error (I/O failure, simulation fault, internal error)
+//	2    bad usage: unknown flag value, invalid configuration, unknown
+//	     workload or prefetcher name
+//	130  interrupted by SIGINT (128 + signal 2, the shell convention)
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"fdpsim/internal/sim"
+)
+
+// Exit codes by name; see the package comment for the table.
+const (
+	ExitOK          = 0
+	ExitError       = 1
+	ExitUsage       = 2
+	ExitInterrupted = 130
+)
+
+// ExitCode maps an error from the simulator stack to the documented exit
+// code. A nil error and a deadline-stop both mean success.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return ExitOK // a -timeout stop is planned, not a failure
+	case errors.Is(err, sim.ErrCancelled):
+		return ExitInterrupted
+	case errors.Is(err, sim.ErrUnknownWorkload), errors.Is(err, sim.ErrInvalidConfig):
+		return ExitUsage
+	default:
+		return ExitError
+	}
+}
+
+// FatalIf exits with the error's mapped exit code after printing
+// "tool: err" to stderr; a nil error is a no-op.
+func FatalIf(tool string, err error) {
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(ExitCode(err))
+}
+
+// Fatalf prints "tool: message" to stderr and exits with the given code.
+func Fatalf(tool string, code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	os.Exit(code)
+}

@@ -1,0 +1,34 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"fdpsim/internal/sim"
+)
+
+func TestExitCodeTable(t *testing.T) {
+	cancelErr := &sim.CancelError{Cause: context.Canceled, Cycle: 1, Retired: 1, Target: 2}
+	deadlineErr := &sim.CancelError{Cause: context.DeadlineExceeded, Cycle: 1, Retired: 1, Target: 2}
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, ExitOK},
+		{"deadline (planned stop)", deadlineErr, ExitOK},
+		{"bare deadline", context.DeadlineExceeded, ExitOK},
+		{"sigint cancel", cancelErr, ExitInterrupted},
+		{"wrapped cancel", fmt.Errorf("outer: %w", cancelErr), ExitInterrupted},
+		{"unknown workload", fmt.Errorf("x: %w", sim.ErrUnknownWorkload), ExitUsage},
+		{"invalid config", fmt.Errorf("x: %w", sim.ErrInvalidConfig), ExitUsage},
+		{"other", errors.New("disk on fire"), ExitError},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("%s: ExitCode = %d, want %d", c.name, got, c.want)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"fdpsim/internal/sim"
+	"fdpsim/internal/store"
 )
 
 // Params are the knobs shared by all experiments.
@@ -34,6 +35,12 @@ type Params struct {
 	Workers   int
 	// Progress, when non-nil, receives live events from RunAll.
 	Progress *Progress
+	// Store, when non-nil, persists completed results on disk keyed by
+	// sim.Fingerprint and serves identical configurations across process
+	// restarts. The in-process memo acts as a read-through layer over it:
+	// lookups go memo → Store → simulate, and completed runs are written
+	// back to both.
+	Store *store.Store
 }
 
 // Progress is RunAll's live event sink. Both callbacks are invoked from
@@ -95,24 +102,27 @@ func (g *Grid) MustGet(workload, config string) sim.Result {
 	return r
 }
 
-// memo caches completed simulations by their semantic configuration.
-// Simulations are deterministic, so experiments sharing cells (e.g.
-// Figures 1, 2 and 3 all simulate the same four configurations) run each
-// configuration once per process.
+// memo caches completed simulations by their semantic configuration
+// fingerprint (sim.Fingerprint). Simulations are deterministic, so
+// experiments sharing cells (e.g. Figures 1, 2 and 3 all simulate the
+// same four configurations) run each configuration once per process.
+// When Params.Store is set, the memo is a read-through layer over the
+// on-disk store, so configurations also run once across restarts.
 var memo sync.Map // config fingerprint -> sim.Result
 
-// fingerprint derives the memo key from a configuration's semantic
-// fields. Custom-prefetcher runs are not memoizable (ok=false): the
-// prefetcher instance is opaque, stateful, and a pointer's address can
-// alias a different instance after reuse. Result-irrelevant fields (the
-// Progress sink) are excluded so equivalent configurations share a cell.
-func fingerprint(cfg sim.Config) (fp string, ok bool) {
-	if cfg.Prefetcher == sim.PrefCustom {
-		return "", false
+// lookup consults the memo, then the optional on-disk store (populating
+// the memo on a store hit so the disk is read once per process).
+func lookup(fp string, st *store.Store) (sim.Result, bool) {
+	if cached, ok := memo.Load(fp); ok {
+		return cached.(sim.Result), true
 	}
-	cfg.Custom = nil
-	cfg.Progress = nil
-	return fmt.Sprintf("%+v", cfg), true
+	if st != nil {
+		if res, ok := st.Get(fp); ok {
+			memo.Store(fp, res)
+			return res, true
+		}
+	}
+	return sim.Result{}, false
 }
 
 // ResetMemo clears the cross-experiment simulation cache (tests use this).
@@ -167,10 +177,9 @@ func RunAll(ctx context.Context, specs []RunSpec, p Params) (*Grid, error) {
 		go func() {
 			defer wg.Done()
 			for spec := range jobs {
-				fp, memoizable := fingerprint(spec.Cfg)
+				fp, memoizable := sim.Fingerprint(spec.Cfg)
 				if memoizable {
-					if cached, ok := memo.Load(fp); ok {
-						res := cached.(sim.Result)
+					if res, ok := lookup(fp, p.Store); ok {
 						g.mu.Lock()
 						g.results[spec.Key()] = res
 						g.mu.Unlock()
@@ -191,6 +200,11 @@ func RunAll(ctx context.Context, specs []RunSpec, p Params) (*Grid, error) {
 				}
 				if memoizable {
 					memo.Store(fp, res)
+					if p.Store != nil {
+						// Best-effort write-back: a full disk costs future
+						// cache hits, not this experiment.
+						_ = p.Store.Put(fp, res)
+					}
 				}
 				g.mu.Lock()
 				g.results[spec.Key()] = res

@@ -96,8 +96,8 @@ func TestFingerprintSemantics(t *testing.T) {
 	a.Workload = "seqstream"
 	b := a
 	b.Progress = func(sim.Snapshot) {} // observability must not split memo entries
-	fpA, okA := fingerprint(a)
-	fpB, okB := fingerprint(b)
+	fpA, okA := sim.Fingerprint(a)
+	fpB, okB := sim.Fingerprint(b)
 	if !okA || !okB {
 		t.Fatal("builtin prefetcher configs must be memoizable")
 	}
@@ -107,7 +107,7 @@ func TestFingerprintSemantics(t *testing.T) {
 
 	c := a
 	c.Workload = "chaserand"
-	if fpC, _ := fingerprint(c); fpC == fpA {
+	if fpC, _ := sim.Fingerprint(c); fpC == fpA {
 		t.Error("different workloads share a fingerprint")
 	}
 
@@ -116,7 +116,7 @@ func TestFingerprintSemantics(t *testing.T) {
 	d := a
 	d.Prefetcher = sim.PrefCustom
 	d.Custom = prefetch.NewStream(4)
-	if _, ok := fingerprint(d); ok {
+	if _, ok := sim.Fingerprint(d); ok {
 		t.Error("PrefCustom config reported as memoizable")
 	}
 }

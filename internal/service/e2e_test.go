@@ -1,0 +1,136 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"fdpsim/internal/store"
+)
+
+func testContext(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+// TestEndToEnd is the PR's acceptance scenario: serve on an ephemeral
+// port, submit over HTTP, observe SSE progress, fetch the final result;
+// an identical second submission is a cache hit (asserted via /metrics);
+// Shutdown drains an in-flight job to a clean partial result; and the
+// whole exercise leaks no goroutines (run under -race in CI).
+func TestEndToEnd(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 2, QueueDepth: 8, Store: st})
+	ts := httptest.NewServer(srv.Handler()) // ephemeral 127.0.0.1 port
+	client := ts.Client()
+
+	// 1. Submit over HTTP.
+	var first JobStatus
+	if code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/jobs", submitBody(t, fastConfig(400_000, 42)), &first); code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+
+	// 2. At least one SSE progress event, then the done event.
+	msgs := readSSE(t, client, ts.URL+"/v1/jobs/"+first.ID+"/events")
+	progress := 0
+	for _, m := range msgs {
+		if m.Event == "progress" {
+			progress++
+		}
+	}
+	if progress < 1 {
+		t.Fatalf("saw %d SSE progress events, want >= 1", progress)
+	}
+
+	// 3. Fetch the final result.
+	final := pollUntil(t, client, ts.URL+"/v1/jobs/"+first.ID, func(s JobStatus) bool { return s.State.Terminal() })
+	if final.State != StateDone || final.Result == nil || final.Result.IPC <= 0 {
+		t.Fatalf("final job: %+v", final)
+	}
+
+	// 4. Identical submission: served from cache without re-simulating.
+	var second JobStatus
+	if code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/jobs", submitBody(t, fastConfig(400_000, 42)), &second); code != http.StatusOK {
+		t.Fatalf("duplicate submit = %d, want 200 (cache hit)", code)
+	}
+	if !second.CacheHit || second.State != StateDone || second.Result == nil {
+		t.Fatalf("duplicate submission not a completed cache hit: %+v", second)
+	}
+	if second.Result.IPC != final.Result.IPC {
+		t.Fatalf("cache served a different result: %v vs %v", second.Result.IPC, final.Result.IPC)
+	}
+	if hits := metricValue(t, client, ts.URL, "fdpserved_cache_hits_total"); hits != 1 {
+		t.Fatalf("cache_hits_total = %v, want 1", hits)
+	}
+	if misses := metricValue(t, client, ts.URL, "fdpserved_cache_misses_total"); misses != 1 {
+		t.Fatalf("cache_misses_total = %v, want 1", misses)
+	}
+	if cps := metricValue(t, client, ts.URL, "fdpserved_sim_cycles_per_second"); cps <= 0 {
+		t.Fatalf("sim_cycles_per_second = %v, want > 0", cps)
+	}
+
+	// 5. The result survived to disk (a restarted daemon would hit too).
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d entries, want 1", st.Len())
+	}
+
+	// 6. Shutdown drains an in-flight job to a clean partial result.
+	var inflight JobStatus
+	if code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/jobs", submitBody(t, slowConfig(43)), &inflight); code != http.StatusAccepted {
+		t.Fatalf("in-flight submit = %d", code)
+	}
+	pollUntil(t, client, ts.URL+"/v1/jobs/"+inflight.ID, func(s JobStatus) bool { return s.State == StateRunning })
+
+	sctx, cancel := testContext(30 * time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	drained := pollUntil(t, client, ts.URL+"/v1/jobs/"+inflight.ID, func(s JobStatus) bool { return s.State.Terminal() })
+	if drained.State != StateCancelled {
+		t.Fatalf("in-flight job ended %s, want cancelled", drained.State)
+	}
+	if drained.Result == nil || !drained.Result.Partial || drained.Result.Counters.Retired == 0 {
+		t.Fatalf("drained job lacks a clean partial result: %+v", drained.Result)
+	}
+
+	// 7. Post-shutdown: intake refused, health reports draining.
+	resp, err := client.Post(ts.URL+"/v1/jobs", "application/json", submitBody(t, fastConfig(60_000, 44)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after shutdown = %d, want 503", resp.StatusCode)
+	}
+	resp, err = client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after shutdown = %d, want 503", resp.StatusCode)
+	}
+
+	// 8. No goroutine leaks once the HTTP server is down.
+	ts.Close()
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines: %d before, %d after shutdown\n%s", before, runtime.NumGoroutine(), buf[:n])
+}

@@ -1,0 +1,260 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"fdpsim/internal/sim"
+)
+
+// JobRequest is the POST /v1/jobs body. Either set the simple fields —
+// they assemble a configuration exactly like the fdpsim CLI's flags — or
+// supply a complete sim.Config under "config" for full control; the
+// simple sizing fields (insts, warmup, seed, tinterval) still apply on
+// top of an explicit config when non-zero.
+type JobRequest struct {
+	Workload         string `json:"workload"`
+	Prefetcher       string `json:"prefetcher"`        // default "stream"
+	Level            int    `json:"level"`             // static aggressiveness 1..5; 0 with fdp
+	FDP              bool   `json:"fdp"`               // dynamic aggressiveness + insertion
+	DynamicInsertion bool   `json:"dynamic_insertion"` // dynamic insertion only
+	Insts            uint64 `json:"insts"`             // default 1,000,000
+	Warmup           uint64 `json:"warmup"`
+	Seed             uint64 `json:"seed"`
+	TInterval        uint64 `json:"tinterval"`
+
+	// Config, when present, is the full simulator configuration and takes
+	// the place of the assembled baseline.
+	Config *sim.Config `json:"config,omitempty"`
+}
+
+// BuildConfig assembles the simulation configuration. Validation happens
+// in Submit (ValidateJob), not here.
+func (r *JobRequest) BuildConfig() sim.Config {
+	var cfg sim.Config
+	switch {
+	case r.Config != nil:
+		cfg = *r.Config
+	default:
+		kind := sim.PrefetcherKind(r.Prefetcher)
+		if r.Prefetcher == "" {
+			kind = sim.PrefStream
+		}
+		switch {
+		case r.FDP:
+			cfg = sim.WithFDP(kind)
+		case kind == sim.PrefNone:
+			cfg = sim.Default()
+		default:
+			level := r.Level
+			if level == 0 {
+				level = 5
+			}
+			cfg = sim.Conventional(kind, level)
+		}
+		if r.DynamicInsertion {
+			cfg.FDP.DynamicInsertion = true
+		}
+		if r.Workload != "" {
+			cfg.Workload = r.Workload
+		}
+	}
+	if r.Insts != 0 {
+		cfg.MaxInsts = r.Insts
+	}
+	if r.Warmup != 0 {
+		cfg.WarmupInsts = r.Warmup
+	}
+	if r.Seed != 0 {
+		cfg.Seed = r.Seed
+	}
+	if r.TInterval != 0 {
+		cfg.FDP.TInterval = r.TInterval
+	}
+	return cfg
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit (202; 200 on a cache hit; 429 full)
+//	GET    /v1/jobs             list job statuses
+//	GET    /v1/jobs/{id}        poll one job
+//	GET    /v1/jobs/{id}/events SSE per-interval progress
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /metrics             Prometheus text metrics
+//	GET    /healthz             liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// apiError is every non-2xx JSON body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client went away; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job request: %v", err)
+		return
+	}
+	job, err := s.Submit(req.BuildConfig())
+	switch {
+	case err == nil:
+		st := job.Status()
+		if st.CacheHit {
+			writeJSON(w, http.StatusOK, st) // answered without simulating
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+job.ID())
+		writeJSON(w, http.StatusAccepted, st)
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure: one worker will free up within roughly a run
+		// length; clients should retry with jitter.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests, "%v (retry after %ds)", err, retryAfterSeconds)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default: // validation
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// retryAfterSeconds is the backoff hint sent with 429 responses.
+const retryAfterSeconds = 1
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	statuses := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.Status()
+		st.Result = nil // keep the listing small; poll the job for metrics
+		statuses = append(statuses, st)
+	}
+	sort.Slice(statuses, func(i, k int) bool {
+		return statuses[i].SubmittedAt.Before(statuses[k].SubmittedAt)
+	})
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// sseEvent writes one Server-Sent Event and flushes it to the client.
+func sseEvent(w http.ResponseWriter, fl http.Flusher, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+		return err
+	}
+	fl.Flush()
+	return nil
+}
+
+// handleEvents streams a job's per-FDP-interval Snapshots as SSE
+// "progress" events, ending with one "done" event carrying the final
+// JobStatus (result included). Subscribing to a finished job yields the
+// "done" event immediately.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	id, ch, last := job.subscribe()
+	defer job.unsubscribe(id)
+
+	// Late joiners first see where the run already is.
+	if err := sseEvent(w, fl, "state", job.Status()); err != nil {
+		return
+	}
+	if last != nil {
+		if err := sseEvent(w, fl, "progress", *last); err != nil {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case snap := <-ch:
+			if err := sseEvent(w, fl, "progress", snap); err != nil {
+				return
+			}
+		case <-job.Done():
+			// Trailing snapshots still in ch are superseded by the final
+			// status (its Result carries the authoritative numbers).
+			sseEvent(w, fl, "done", job.Status()) //nolint:errcheck
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.render(w, len(s.queue), time.Since(s.started))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the service's instrumentation: plain atomics and one
+// mutex-guarded histogram, rendered in Prometheus text exposition format
+// by render. No client library — the format is three lines per series.
+type metrics struct {
+	submitted  atomic.Uint64 // accepted submissions (including cache hits)
+	rejected   atomic.Uint64 // 429 backpressure rejections
+	completed  atomic.Uint64 // jobs reaching state done (incl. cache hits)
+	failed     atomic.Uint64
+	cancelled  atomic.Uint64
+	cacheHits  atomic.Uint64
+	cacheMisses atomic.Uint64
+
+	running atomic.Int64 // gauge: simulations executing right now
+
+	simCycles atomic.Uint64 // simulated cycles across completed runs
+	simNanos  atomic.Uint64 // wall-clock nanoseconds across completed runs
+
+	queueWait histogram
+}
+
+func (m *metrics) init() {
+	// Sub-millisecond to tens of seconds: queue waits span an idle pool
+	// (ns) to a saturated one (many run-lengths).
+	m.queueWait.bounds = []float64{0.001, 0.01, 0.1, 1, 10}
+	m.queueWait.counts = make([]uint64, len(m.queueWait.bounds)+1)
+}
+
+// histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// bucket le="x" counts observations ≤ x; the last implicit bucket is +Inf).
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.count++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// snapshot returns cumulative bucket counts plus sum and count.
+func (h *histogram) snapshot() (cum []uint64, sum float64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.counts))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		cum[i] = acc
+	}
+	return cum, h.sum, h.count
+}
+
+// render writes every series. queued is sampled by the caller (it is the
+// live queue length, owned by the Server).
+func (m *metrics) render(w io.Writer, queued int, uptime time.Duration) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP fdpserved_%s %s\n# TYPE fdpserved_%s counter\nfdpserved_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP fdpserved_%s %s\n# TYPE fdpserved_%s gauge\nfdpserved_%s %g\n", name, help, name, name, v)
+	}
+
+	counter("jobs_submitted_total", "Accepted job submissions (including cache hits).", m.submitted.Load())
+	counter("jobs_rejected_total", "Submissions rejected with 429 (queue full).", m.rejected.Load())
+	counter("jobs_completed_total", "Jobs that reached state done (including cache hits).", m.completed.Load())
+	counter("jobs_failed_total", "Jobs that reached state failed.", m.failed.Load())
+	counter("jobs_cancelled_total", "Jobs cancelled while queued or running.", m.cancelled.Load())
+	gauge("jobs_queued", "Jobs waiting in the FIFO queue.", float64(queued))
+	gauge("jobs_running", "Simulations executing right now.", float64(m.running.Load()))
+
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	counter("cache_hits_total", "Submissions answered from the result cache.", hits)
+	counter("cache_misses_total", "Submissions that required a simulation.", misses)
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	gauge("cache_hit_ratio", "cache_hits_total / (hits + misses).", ratio)
+
+	cycles, nanos := m.simCycles.Load(), m.simNanos.Load()
+	counter("sim_cycles_total", "Simulated cycles across finished runs.", cycles)
+	cps := 0.0
+	if nanos > 0 {
+		cps = float64(cycles) / (float64(nanos) / 1e9)
+	}
+	gauge("sim_cycles_per_second", "Simulation throughput: simulated cycles per wall-clock second.", cps)
+	gauge("uptime_seconds", "Seconds since the server started.", uptime.Seconds())
+
+	cum, sum, count := m.queueWait.snapshot()
+	name := "queue_wait_seconds"
+	fmt.Fprintf(w, "# HELP fdpserved_%s Time jobs spent waiting for a worker.\n# TYPE fdpserved_%s histogram\n", name, name)
+	for i, b := range m.queueWait.bounds {
+		fmt.Fprintf(w, "fdpserved_%s_bucket{le=\"%g\"} %d\n", name, b, cum[i])
+	}
+	fmt.Fprintf(w, "fdpserved_%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
+	fmt.Fprintf(w, "fdpserved_%s_sum %g\n", name, sum)
+	fmt.Fprintf(w, "fdpserved_%s_count %d\n", name, count)
+}

@@ -1,0 +1,486 @@
+// Package service is the simulation job service: a bounded worker pool
+// with a FIFO queue behind an HTTP JSON API (see http.go), turning the
+// one-shot simulator into a shared daemon that sweeps of prefetcher
+// configurations — Puppeteer-style managers, POWER7-style reconfiguration
+// studies — can drive concurrently.
+//
+// Jobs are deduplicated by their configuration fingerprint
+// (sim.Fingerprint): an in-memory memo acts as a read-through layer over
+// an optional content-addressed on-disk store (internal/store), so an
+// identical submission — even across daemon restarts — completes
+// immediately as a cache hit without re-simulating.
+//
+// Lifecycle: Submit validates and either answers from cache, enqueues, or
+// reports backpressure (ErrQueueFull → HTTP 429). Cancel stops a queued
+// job in place or cancels a running one at the next FDP interval boundary
+// (PR 1's retire-boundary drain), preserving the partial result. Shutdown
+// stops intake, cancels in-flight runs the same way, and waits for the
+// workers to drain.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fdpsim/internal/sim"
+	"fdpsim/internal/store"
+)
+
+// Sentinel errors; the HTTP layer maps them to status codes.
+var (
+	// ErrQueueFull reports that the FIFO queue is at capacity (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrShuttingDown reports a submission after Shutdown began (HTTP 503).
+	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrUnknownJob reports a job ID that was never issued (HTTP 404).
+	ErrUnknownJob = errors.New("service: unknown job")
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the worker-pool width: at most this many simulations run
+	// concurrently. 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the FIFO queue of jobs waiting for a worker;
+	// submissions beyond it are rejected with ErrQueueFull so load sheds
+	// at the edge instead of accumulating unboundedly. 0 means 64.
+	QueueDepth int
+	// Store, when non-nil, persists completed results on disk and serves
+	// identical submissions across restarts. The in-memory memo reads
+	// through it either way.
+	Store *store.Store
+	// JobTimeout, when non-zero, bounds each simulation's wall-clock run
+	// time; expiry cancels it at the next interval boundary and the job
+	// completes as cancelled with its partial result.
+	JobTimeout time.Duration
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle states. Queued and running are transient; done, failed
+// and cancelled are terminal.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one submitted simulation. All mutable fields are guarded by mu;
+// done is closed exactly once when the job reaches a terminal state.
+type Job struct {
+	id  string
+	fp  string
+	cfg sim.Config
+
+	mu          sync.Mutex
+	state       JobState
+	cacheHit    bool
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	result      *sim.Result
+	errMsg      string
+	cancel      context.CancelCauseFunc // set while running
+	lastSnap    *sim.Snapshot
+	subs        map[int]chan sim.Snapshot
+	nextSub     int
+	done        chan struct{}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobStatus is the JSON shape of a job, returned by poll and embedded in
+// the SSE "done" event.
+type JobStatus struct {
+	ID          string      `json:"id"`
+	State       JobState    `json:"state"`
+	Workload    string      `json:"workload"`
+	Prefetcher  string      `json:"prefetcher"`
+	Fingerprint string      `json:"fingerprint"`
+	CacheHit    bool        `json:"cache_hit"`
+	SubmittedAt time.Time   `json:"submitted_at"`
+	StartedAt   *time.Time  `json:"started_at,omitempty"`
+	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
+	Error       string      `json:"error,omitempty"`
+	Result      *sim.Result `json:"result,omitempty"`
+}
+
+// Status snapshots the job for serialization.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Workload:    j.cfg.Workload,
+		Prefetcher:  string(j.cfg.Prefetcher),
+		Fingerprint: j.fp,
+		CacheHit:    j.cacheHit,
+		SubmittedAt: j.submittedAt,
+		Error:       j.errMsg,
+		Result:      j.result,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		st.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// publish is the job's sim.ProgressFunc: it retains the latest snapshot
+// for late subscribers and fans it out without blocking the simulation
+// (slow subscribers drop intermediate snapshots, never stall the run).
+func (j *Job) publish(s sim.Snapshot) {
+	j.mu.Lock()
+	snap := s
+	j.lastSnap = &snap
+	for _, ch := range j.subs {
+		select {
+		case ch <- s:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// subscribe registers an SSE listener and returns the latest snapshot so
+// a late joiner sees where the run is immediately.
+func (j *Job) subscribe() (id int, ch chan sim.Snapshot, last *sim.Snapshot) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch = make(chan sim.Snapshot, 16)
+	id = j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	return id, ch, j.lastSnap
+}
+
+func (j *Job) unsubscribe(id int) {
+	j.mu.Lock()
+	delete(j.subs, id)
+	j.mu.Unlock()
+}
+
+// finishLocked moves the job to a terminal state. Caller holds j.mu.
+func (j *Job) finishLocked(state JobState, res *sim.Result, errMsg string) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = res
+	j.errMsg = errMsg
+	j.finishedAt = time.Now()
+	close(j.done)
+}
+
+// Server owns the job table, the worker pool and the result cache.
+type Server struct {
+	cfg Config
+
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	memo   map[string]sim.Result
+	nextID uint64
+	closed bool
+
+	started time.Time
+	m       metrics
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		jobs:       make(map[string]*Job),
+		memo:       make(map[string]sim.Result),
+		started:    time.Now(),
+	}
+	s.m.init()
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job, newest last (insertion order is not preserved
+// by the map; callers sort by SubmittedAt).
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	return out
+}
+
+// cacheLookup consults the memo, then the on-disk store (populating the
+// memo on a store hit so the disk is read once per fingerprint).
+func (s *Server) cacheLookup(fp string) (sim.Result, bool) {
+	s.mu.Lock()
+	res, ok := s.memo[fp]
+	s.mu.Unlock()
+	if ok {
+		return res, true
+	}
+	if s.cfg.Store != nil {
+		if res, ok := s.cfg.Store.Get(fp); ok {
+			s.mu.Lock()
+			s.memo[fp] = res
+			s.mu.Unlock()
+			return res, true
+		}
+	}
+	return sim.Result{}, false
+}
+
+// storeResult writes a completed result back through both cache layers.
+func (s *Server) storeResult(fp string, res sim.Result) {
+	s.mu.Lock()
+	s.memo[fp] = res
+	s.mu.Unlock()
+	if s.cfg.Store != nil {
+		// Best-effort: a full disk costs future cache hits, not this job.
+		_ = s.cfg.Store.Put(fp, res)
+	}
+}
+
+// Submit validates a configuration and either completes it from cache,
+// enqueues it, or rejects it (ErrQueueFull, ErrShuttingDown, or a
+// validation error wrapping sim.ErrInvalidConfig/sim.ErrUnknownWorkload).
+//
+// Two identical submissions racing before either completes both simulate;
+// the store's atomic Put makes the duplicate write harmless. Deduplication
+// is an at-most-once-after-completion guarantee, not an in-flight one.
+func (s *Server) Submit(cfg sim.Config) (*Job, error) {
+	if err := cfg.ValidateJob(); err != nil {
+		return nil, err
+	}
+	fp, ok := sim.Fingerprint(cfg)
+	if !ok {
+		// Unreachable: ValidateJob rejects custom prefetchers.
+		return nil, fmt.Errorf("%w: configuration is not fingerprintable", sim.ErrInvalidConfig)
+	}
+	cfg.Progress = nil // the worker installs its own sink
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	s.nextID++
+	job := &Job{
+		id:          fmt.Sprintf("job-%06d", s.nextID),
+		fp:          fp,
+		cfg:         cfg,
+		state:       StateQueued,
+		submittedAt: time.Now(),
+		subs:        make(map[int]chan sim.Snapshot),
+		done:        make(chan struct{}),
+	}
+	s.jobs[job.id] = job
+	s.mu.Unlock()
+	s.m.submitted.Add(1)
+
+	if res, ok := s.cacheLookup(fp); ok {
+		s.m.cacheHits.Add(1)
+		s.m.completed.Add(1)
+		job.mu.Lock()
+		job.cacheHit = true
+		job.finishLocked(StateDone, &res, "")
+		job.mu.Unlock()
+		return job, nil
+	}
+	s.m.cacheMisses.Add(1)
+
+	// Enqueue under s.mu so the send can never race Shutdown's close().
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.dropJob(job, ErrShuttingDown)
+		return nil, ErrShuttingDown
+	}
+	select {
+	case s.queue <- job:
+		s.mu.Unlock()
+		return job, nil
+	default:
+		s.mu.Unlock()
+		s.m.rejected.Add(1)
+		s.dropJob(job, ErrQueueFull)
+		return nil, ErrQueueFull
+	}
+}
+
+// dropJob removes a job that never entered the queue.
+func (s *Server) dropJob(job *Job, cause error) {
+	s.mu.Lock()
+	delete(s.jobs, job.id)
+	s.mu.Unlock()
+	job.mu.Lock()
+	job.finishLocked(StateFailed, nil, cause.Error())
+	job.mu.Unlock()
+}
+
+// Cancel stops a job: a queued job is finalized in place, a running one
+// is cancelled at the next FDP interval boundary (its partial result is
+// preserved when the worker finishes it). Cancelling a terminal job is a
+// no-op. Returns ErrUnknownJob for an ID that was never issued.
+func (s *Server) Cancel(id string) (*Job, error) {
+	job, ok := s.Job(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	job.mu.Lock()
+	switch job.state {
+	case StateQueued:
+		job.finishLocked(StateCancelled, nil, "cancelled before start")
+		s.m.cancelled.Add(1)
+	case StateRunning:
+		// The worker observes the cause via RunContext's CancelError and
+		// finalizes the job with its partial result.
+		job.cancel(errors.New("cancelled by client"))
+	}
+	job.mu.Unlock()
+	return job, nil
+}
+
+// QueueDepth returns the configured queue bound.
+func (s *Server) QueueDepth() int { return s.cfg.QueueDepth }
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one queued job end to end.
+func (s *Server) runJob(job *Job) {
+	job.mu.Lock()
+	if job.state != StateQueued { // cancelled while waiting
+		job.mu.Unlock()
+		return
+	}
+	if s.baseCtx.Err() != nil { // shutdown won the race: never start
+		job.finishLocked(StateCancelled, nil, "server shutting down")
+		job.mu.Unlock()
+		s.m.cancelled.Add(1)
+		return
+	}
+	wait := time.Since(job.submittedAt)
+	job.state = StateRunning
+	job.startedAt = time.Now()
+	ctx, cancel := context.WithCancelCause(s.baseCtx)
+	job.cancel = cancel
+	job.mu.Unlock()
+	defer cancel(nil)
+
+	s.m.queueWait.observe(wait.Seconds())
+	s.m.running.Add(1)
+	defer s.m.running.Add(-1)
+
+	runCtx := ctx
+	if s.cfg.JobTimeout > 0 {
+		var tcancel context.CancelFunc
+		runCtx, tcancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer tcancel()
+	}
+	cfg := job.cfg
+	cfg.Progress = job.publish
+	res, err := sim.RunContext(runCtx, cfg)
+
+	s.m.simCycles.Add(res.Counters.Cycles)
+	s.m.simNanos.Add(uint64(res.Elapsed.Nanoseconds()))
+
+	if err == nil {
+		// Cache before finishing so a poller that sees state "done" and
+		// immediately resubmits an identical config gets the hit.
+		s.storeResult(job.fp, res)
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	switch {
+	case err == nil:
+		s.m.completed.Add(1)
+		job.finishLocked(StateDone, &res, "")
+	case errors.Is(err, sim.ErrCancelled):
+		s.m.cancelled.Add(1)
+		partial := res
+		job.finishLocked(StateCancelled, &partial, err.Error())
+	default:
+		s.m.failed.Add(1)
+		job.finishLocked(StateFailed, nil, err.Error())
+	}
+}
+
+// Shutdown stops intake (submissions fail with ErrShuttingDown), cancels
+// queued and in-flight jobs — running simulations stop at their next FDP
+// interval boundary and keep their partial results — and waits for the
+// worker pool to drain, up to ctx's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.baseCancel(ErrShuttingDown)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"fdpsim/internal/workload"
+)
+
+// fingerprintVersion is folded into every fingerprint so that cached
+// results written by an incompatible simulator revision never alias a
+// current configuration. Bump it whenever a change makes old results
+// wrong for the same Config (new semantic field, changed defaults, a
+// modelling fix that shifts metrics).
+const fingerprintVersion = "fdpsim-fp-v1"
+
+// Fingerprint returns a stable content hash of the configuration's
+// semantic fields: two configurations share a fingerprint exactly when a
+// completed run of one is a valid result for the other. Result-irrelevant
+// fields (the Progress sink) are excluded. Custom-prefetcher runs are not
+// fingerprintable (ok=false): the prefetcher instance is opaque, stateful,
+// and a pointer's address can alias a different instance after reuse.
+//
+// The returned string is lowercase hex, safe for use as a file name; the
+// harness memo and the service result store both key on it.
+func Fingerprint(cfg Config) (fp string, ok bool) {
+	if cfg.Prefetcher == PrefCustom {
+		return "", false
+	}
+	cfg.Custom = nil
+	cfg.Progress = nil
+	sum := sha256.Sum256([]byte(fingerprintVersion + "\x00" + fmt.Sprintf("%+v", cfg)))
+	return hex.EncodeToString(sum[:]), true
+}
+
+// PrefetcherKinds lists the prefetchers selectable by name. PrefCustom is
+// excluded: it requires a caller-supplied Config.Custom instance and so
+// cannot be chosen from a CLI flag or a job request.
+func PrefetcherKinds() []PrefetcherKind {
+	return []PrefetcherKind{
+		PrefNone, PrefStream, PrefGHB, PrefStride, PrefNextLine, PrefDahlgren, PrefHybrid,
+	}
+}
+
+// ValidateJob extends Validate with the checks a job service needs before
+// queueing work it did not construct itself: the workload name must
+// resolve now (Run would only discover a typo after the job waited in the
+// queue), and the configuration must be fingerprintable so the result is
+// cacheable and the submission deduplicatable.
+func (c *Config) ValidateJob() error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if !workload.Exists(c.Workload) {
+		return fmt.Errorf("%w %q (have %v)", ErrUnknownWorkload, c.Workload, workload.Names())
+	}
+	if c.Prefetcher == PrefCustom {
+		return fmt.Errorf("%w: custom prefetchers cannot run as jobs (no stable fingerprint)", ErrInvalidConfig)
+	}
+	return nil
+}
