@@ -25,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -88,10 +89,11 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, e := range harness.Experiments() {
-			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
-		}
-		return
+		cli.Listing(func(w io.Writer) {
+			for _, e := range harness.Experiments() {
+				fmt.Fprintf(w, "  %-12s %s\n", e.ID, e.Title)
+			}
+		})
 	}
 
 	var ids []string
@@ -102,8 +104,7 @@ func main() {
 	} else if *run != "" {
 		ids = strings.Split(*run, ",")
 	} else {
-		fmt.Fprintln(os.Stderr, "experiments: use -list, -run <ids>, or -all")
-		os.Exit(cli.ExitUsage)
+		cli.Fatalf("experiments", cli.ExitUsage, "use -list, -run <ids>, or -all")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -136,8 +137,7 @@ func main() {
 		id = strings.TrimSpace(id)
 		e, ok := harness.Lookup(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (see -list)\n", id)
-			os.Exit(cli.ExitUsage)
+			cli.Fatalf("experiments", cli.ExitUsage, "unknown experiment %q (see -list)", id)
 		}
 		start := time.Now()
 		tables, err := e.Run(ctx, p)
@@ -149,8 +149,7 @@ func main() {
 				}
 				os.Exit(cli.ExitInterrupted)
 			}
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(cli.ExitError)
+			cli.Fatalf("experiments", cli.ExitError, "%s: %v", id, err)
 		}
 		switch *format {
 		case "chart":
@@ -161,8 +160,7 @@ func main() {
 		case "csv":
 			for i := range tables {
 				if err := tables[i].RenderCSV(os.Stdout); err != nil {
-					fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-					os.Exit(cli.ExitError)
+					cli.Fatalf("experiments", cli.ExitError, "%s: %v", id, err)
 				}
 				fmt.Println()
 			}

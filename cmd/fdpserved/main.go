@@ -6,6 +6,7 @@
 //
 //	fdpserved -addr :8080 -cache-dir /var/cache/fdpsim
 //	fdpserved -addr 127.0.0.1:0 -workers 4 -queue 128 -job-timeout 5m
+//	fdpserved -log-format json -log-level debug -pprof-addr 127.0.0.1:6060
 //
 // API (see the README's "Running the service" section for curl examples):
 //
@@ -14,9 +15,16 @@
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        poll a job
 //	GET    /v1/jobs/{id}/events per-FDP-interval progress via SSE
+//	GET    /v1/jobs/{id}/trace  FDP decision trace (JSONL; ?format=chrome)
 //	DELETE /v1/jobs/{id}        cancel (running jobs keep partial results)
 //	GET    /metrics             Prometheus text metrics
 //	GET    /healthz             liveness (503 while draining)
+//
+// Logs are structured (log/slog): -log-format selects text or json,
+// -log-level the floor (HTTP scrape endpoints log at debug). -pprof-addr
+// serves net/http/pprof on a separate listener, off by default and best
+// bound to loopback — the profiler exposes heap and goroutine internals
+// and belongs on an operator port, not the public API one.
 //
 // SIGINT/SIGTERM begin a graceful shutdown: intake stops, in-flight
 // simulations are cancelled at their next FDP interval boundary (their
@@ -28,9 +36,10 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +50,46 @@ import (
 	"fdpsim/internal/store"
 )
 
+// newLogger builds the process logger from the -log-format/-log-level
+// flags; unknown values are usage errors (exit 2).
+func newLogger(format, level string) *slog.Logger {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		cli.Fatalf("fdpserved", cli.ExitUsage, "unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts))
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	default:
+		cli.Fatalf("fdpserved", cli.ExitUsage, "unknown -log-format %q (want text or json)", format)
+		panic("unreachable")
+	}
+}
+
+// pprofHandler mounts the net/http/pprof endpoints on an explicit mux
+// (never the DefaultServeMux, which third-party imports can pollute).
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
@@ -49,21 +98,42 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "content-addressed result store directory (empty = in-memory cache only)")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-job wall-clock budget; expiry cancels at the next interval boundary (0 = none)")
 		drain      = flag.Duration("drain", 30*time.Second, "shutdown budget for draining in-flight simulations")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; bind to loopback)")
 	)
 	flag.Parse()
 
-	cfg := service.Config{Workers: *workers, QueueDepth: *queue, JobTimeout: *jobTimeout}
+	logger := newLogger(*logFormat, *logLevel)
+
+	cfg := service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+		Logger:     logger,
+	}
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir)
 		cli.FatalIf("fdpserved", err)
 		cfg.Store = st
-		log.Printf("fdpserved: result store at %s (%d entries)", st.Dir(), st.Len())
+		logger.Info("result store opened", "dir", st.Dir(), "entries", st.Len())
 	}
 	srv := service.New(cfg)
 
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		cli.FatalIf("fdpserved", err)
+		logger.Info("pprof listening", "addr", "http://"+pln.Addr().String()+"/debug/pprof/")
+		go func() {
+			if err := http.Serve(pln, pprofHandler()); err != nil {
+				logger.Warn("pprof server stopped", "error", err)
+			}
+		}()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	cli.FatalIf("fdpserved", err)
-	log.Printf("fdpserved: listening on http://%s", ln.Addr())
+	logger.Info("listening", "addr", "http://"+ln.Addr().String())
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -78,7 +148,7 @@ func main() {
 	}
 	stop() // a second signal kills the process the default way
 
-	log.Printf("fdpserved: draining (budget %s)…", *drain)
+	logger.Info("draining", "budget", *drain)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
@@ -87,5 +157,5 @@ func main() {
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		cli.Fatalf("fdpserved", cli.ExitError, "http shutdown: %v", err)
 	}
-	log.Printf("fdpserved: drained cleanly")
+	logger.Info("drained cleanly")
 }

@@ -5,13 +5,20 @@
 //	fdpsim -workload seqstream -prefetcher stream -level 5 -insts 1000000
 //	fdpsim -workload chaserand -prefetcher stream -fdp
 //	fdpsim -workload mixedphase -fdp -progress -timeout 30s
+//	fdpsim -workload chaserand -fdp -trace-out decisions.jsonl
+//	fdpsim -workload chaserand -fdp -trace-out trace.json -trace-format chrome
 //	fdpsim -list
 //
 // -progress streams one line of FDP telemetry per sampling interval to
-// stderr. A SIGINT (Ctrl-C) or an expired -timeout stops the run at the
-// next interval boundary and the partial metrics are printed, marked
-// "(partial)". Exit codes follow the shared table in internal/cli: 0
-// success (including a -timeout stop), 2 bad usage or configuration, 130
+// stderr. -trace-out records the full FDP decision trace — one
+// DecisionEvent per sampling interval — to a file, as JSONL or as a
+// Chrome trace_event document (-trace-format chrome) loadable in Perfetto;
+// see docs/OBSERVABILITY.md. A SIGINT (Ctrl-C) or an expired -timeout
+// stops the run at the next interval boundary and the partial metrics
+// (and a partial trace) are written, marked "(partial)". Only results go
+// to stdout; listings, progress and diagnostics go to stderr. Exit codes
+// follow the shared table in internal/cli: 0 success (including a
+// -timeout stop), 2 bad usage, configuration or a -list listing, 130
 // interrupted by SIGINT, 1 other errors.
 package main
 
@@ -21,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,16 +37,50 @@ import (
 
 	"fdpsim"
 	"fdpsim/internal/cli"
+	"fdpsim/internal/obs"
 	"fdpsim/internal/prefetch"
 )
+
+const tool = "fdpsim"
 
 // emitJSON prints a machine-readable single-run result.
 func emitJSON(res fdpsim.Result) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(res); err != nil {
-		fmt.Fprintln(os.Stderr, "fdpsim:", err)
-		os.Exit(1)
+	cli.FatalIf(tool, enc.Encode(res))
+}
+
+// traceSink is what -trace-out needs from an obs sink.
+type traceSink interface {
+	fdpsim.Tracer
+	Close() error
+}
+
+// openTrace wires -trace-out/-trace-format into the configuration and
+// returns the function that finalizes the artifact after the run. A nil
+// return means tracing is disabled.
+func openTrace(cfg *fdpsim.Config, path, format string) func() {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	cli.FatalIf(tool, err)
+	var sink traceSink
+	switch format {
+	case "jsonl":
+		sink = obs.NewJSONL(f)
+	case "chrome":
+		sink = obs.NewChrome(f)
+	default:
+		cli.Fatalf(tool, cli.ExitUsage, "unknown -trace-format %q (want jsonl or chrome)", format)
+	}
+	cfg.Tracer = sink
+	return func() {
+		if err := sink.Close(); err != nil {
+			cli.Fatalf(tool, cli.ExitError, "writing decision trace %s: %v", path, err)
+		}
+		cli.FatalIf(tool, f.Close())
+		fmt.Fprintf(os.Stderr, "fdpsim: decision trace written to %s (%s)\n", path, format)
 	}
 }
 
@@ -54,7 +96,9 @@ func progressLine(s fdpsim.Snapshot) {
 
 // runMulticore executes one multi-core simulation with every core using
 // the already-parsed single-core configuration as its template.
-func runMulticore(ctx context.Context, tmpl fdpsim.Config, workloads []string, jsonOut bool) {
+// finishTrace, when non-nil, finalizes the -trace-out artifact (the cores
+// share the template's tracer; events carry the core index).
+func runMulticore(ctx context.Context, tmpl fdpsim.Config, workloads []string, jsonOut bool, finishTrace func()) {
 	var mc fdpsim.MultiConfig
 	for _, w := range workloads {
 		cfg := tmpl
@@ -62,18 +106,17 @@ func runMulticore(ctx context.Context, tmpl fdpsim.Config, workloads []string, j
 		mc.Cores = append(mc.Cores, cfg)
 	}
 	res, err := fdpsim.RunMultiContext(ctx, mc)
+	if finishTrace != nil {
+		finishTrace() // flush even a partial trace; it matches the partial result
+	}
 	code := cli.ExitCode(err)
 	if err != nil && !errors.Is(err, fdpsim.ErrCancelled) {
-		fmt.Fprintln(os.Stderr, "fdpsim:", err)
-		os.Exit(code)
+		cli.Fatalf(tool, code, "%v", err)
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
-			fmt.Fprintln(os.Stderr, "fdpsim:", err)
-			os.Exit(1)
-		}
+		cli.FatalIf(tool, enc.Encode(res))
 		os.Exit(code)
 	}
 	if res.Partial {
@@ -116,19 +159,22 @@ func main() {
 		dumpConfig   = flag.Bool("dumpconfig", false, "print the assembled configuration as JSON and exit")
 		timeout      = flag.Duration("timeout", 0, "deadline; expiry stops the run and prints partial metrics (0 = none)")
 		progress     = flag.Bool("progress", false, "stream per-FDP-interval telemetry to stderr")
+		traceOut     = flag.String("trace-out", "", "write the FDP decision trace (one event per sampling interval) to this file")
+		traceFormat  = flag.String("trace-format", "jsonl", "decision trace format: jsonl or chrome (Perfetto-loadable)")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println("memory-intensive (the paper's 17-benchmark set):")
-		for _, w := range fdpsim.MemoryIntensiveWorkloads() {
-			fmt.Printf("  %-14s %s\n", w, fdpsim.WorkloadAbout(w))
-		}
-		fmt.Println("low-potential (Figure 14's 9 benchmarks):")
-		for _, w := range fdpsim.LowPotentialWorkloads() {
-			fmt.Printf("  %-14s %s\n", w, fdpsim.WorkloadAbout(w))
-		}
-		return
+		cli.Listing(func(w io.Writer) {
+			fmt.Fprintln(w, "memory-intensive (the paper's 17-benchmark set):")
+			for _, name := range fdpsim.MemoryIntensiveWorkloads() {
+				fmt.Fprintf(w, "  %-14s %s\n", name, fdpsim.WorkloadAbout(name))
+			}
+			fmt.Fprintln(w, "low-potential (Figure 14's 9 benchmarks):")
+			for _, name := range fdpsim.LowPotentialWorkloads() {
+				fmt.Fprintf(w, "  %-14s %s\n", name, fdpsim.WorkloadAbout(name))
+			}
+		})
 	}
 
 	opts := []fdpsim.Option{
@@ -149,15 +195,11 @@ func main() {
 		case "LRU":
 			opts = append(opts, fdpsim.WithInsertion(fdpsim.PosLRU))
 		default:
-			fmt.Fprintf(os.Stderr, "fdpsim: unknown insertion position %q\n", *insertAt)
-			os.Exit(2)
+			cli.Fatalf(tool, cli.ExitUsage, "unknown insertion position %q (want MRU, MID, LRU-4 or LRU)", *insertAt)
 		}
 	}
 	cfg, err := fdpsim.NewConfig(kind, opts...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fdpsim:", err)
-		os.Exit(cli.ExitCode(err))
-	}
+	cli.FatalIf(tool, err)
 	if *dynIns {
 		cfg.FDP.DynamicInsertion = true
 	}
@@ -172,22 +214,17 @@ func main() {
 
 	if *configPath != "" {
 		raw, err := os.ReadFile(*configPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fdpsim:", err)
-			os.Exit(1)
-		}
+		cli.FatalIf(tool, err)
 		if err := json.Unmarshal(raw, &cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "fdpsim: parsing %s: %v\n", *configPath, err)
-			os.Exit(1)
+			// A config file that does not parse is bad input, not a
+			// runtime failure: exit 2 like any other invalid configuration.
+			cli.Fatalf(tool, cli.ExitUsage, "parsing %s: %v", *configPath, err)
 		}
 	}
 	if *dumpConfig {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "fdpsim:", err)
-			os.Exit(1)
-		}
+		cli.FatalIf(tool, enc.Encode(cfg))
 		return
 	}
 
@@ -201,17 +238,20 @@ func main() {
 	if *progress {
 		cfg.Progress = progressLine
 	}
+	finishTrace := openTrace(&cfg, *traceOut, *traceFormat)
 
 	if *cores != "" {
-		runMulticore(ctx, cfg, strings.Split(*cores, ","), *jsonOut)
+		runMulticore(ctx, cfg, strings.Split(*cores, ","), *jsonOut, finishTrace)
 		return
 	}
 
 	res, err := fdpsim.RunContext(ctx, cfg)
+	if finishTrace != nil {
+		finishTrace() // flush even a partial trace; it matches the partial result
+	}
 	code := cli.ExitCode(err)
 	if err != nil && !errors.Is(err, fdpsim.ErrCancelled) {
-		fmt.Fprintln(os.Stderr, "fdpsim:", err)
-		os.Exit(code)
+		cli.Fatalf(tool, code, "%v", err)
 	}
 	if *jsonOut {
 		emitJSON(res)

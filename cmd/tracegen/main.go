@@ -7,13 +7,16 @@
 //	tracegen -workload seqstream -ops 1000000 -o seqstream.trc
 //	tracegen -replay seqstream.trc -prefetcher stream -level 5
 //
-// Exit codes follow the shared table in internal/cli: 0 success, 1
-// runtime error, 2 bad usage (unknown workload or prefetcher).
+// Only run output goes to stdout; the -list listing is help text and
+// prints to stderr. Exit codes follow the shared table in internal/cli:
+// 0 success, 1 runtime error, 2 bad usage (unknown workload or
+// prefetcher, and -list listings).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -39,13 +42,14 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println("workloads (-workload):")
-		for _, w := range fdpsim.Workloads() {
-			fmt.Printf("  %-14s %s\n", w, fdpsim.WorkloadAbout(w))
-		}
-		fmt.Println("prefetchers (-prefetcher, for -replay):")
-		fmt.Printf("  %s\n", joinKinds())
-		return
+		cli.Listing(func(w io.Writer) {
+			fmt.Fprintln(w, "workloads (-workload):")
+			for _, name := range fdpsim.Workloads() {
+				fmt.Fprintf(w, "  %-14s %s\n", name, fdpsim.WorkloadAbout(name))
+			}
+			fmt.Fprintln(w, "prefetchers (-prefetcher, for -replay):")
+			fmt.Fprintf(w, "  %s\n", joinKinds())
+		})
 	}
 
 	if *replay != "" {

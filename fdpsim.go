@@ -107,6 +107,16 @@ type Snapshot = sim.Snapshot
 // WithProgress.
 type ProgressFunc = sim.ProgressFunc
 
+// DecisionEvent is one FDP interval boundary's full feedback decision:
+// the raw and decayed counters, the classified metrics, the Table 2 case
+// taken, the DCC transition and the resulting prefetcher configuration.
+type DecisionEvent = sim.DecisionEvent
+
+// Tracer receives a DecisionEvent at every sampling-interval boundary;
+// see Config.Tracer, WithTracer and the internal/obs sinks behind the
+// fdpsim CLI's -trace-out flag.
+type Tracer = sim.Tracer
+
 // CancelError carries the stop-point metadata of a cancelled run. It
 // matches ErrCancelled and the context cause via errors.Is.
 type CancelError = sim.CancelError

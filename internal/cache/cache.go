@@ -19,13 +19,15 @@ type Addr = uint64
 // MRU = position n-1.
 type InsertPos int
 
-// Insertion positions, least- to most-recently-used.
+// Insertion positions, least- to most-recently-used. NumInsertPos bounds
+// the enum for callers that index per-position tables (e.g. the service's
+// insertion-policy counters).
 const (
 	PosLRU InsertPos = iota
 	PosLRU4
 	PosMID
 	PosMRU
-	numInsertPos
+	NumInsertPos
 )
 
 // String returns the paper's name for the position.

@@ -8,7 +8,8 @@
 //	     deadline (the run was bounded on purpose, its output is valid)
 //	1    runtime error (I/O failure, simulation fault, internal error)
 //	2    bad usage: unknown flag value, invalid configuration, unknown
-//	     workload or prefetcher name
+//	     workload or prefetcher name — and -list listings, which are help
+//	     text and print to stderr (see Listing)
 //	130  interrupted by SIGINT (128 + signal 2, the shell convention)
 package cli
 
@@ -16,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 
 	"fdpsim/internal/sim"
@@ -60,4 +62,14 @@ func FatalIf(tool string, err error) {
 func Fatalf(tool string, code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
 	os.Exit(code)
+}
+
+// Listing renders a -list flag's output to stderr and exits with
+// ExitUsage. Listings are help text, not program output: like the flag
+// package's own -h handling they belong on stderr with exit code 2, so a
+// pipeline consuming a tool's stdout (JSON, CSV, trace bytes) never sees
+// them and scripts can tell "printed a listing" from a successful run.
+func Listing(render func(w io.Writer)) {
+	render(os.Stderr)
+	os.Exit(ExitUsage)
 }

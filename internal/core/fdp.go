@@ -110,7 +110,22 @@ func (c *counter) roll() uint64 {
 	return c.value
 }
 
-// IntervalRecord captures one completed sampling interval for analysis.
+// IntervalCounts is one reading of the five Section 3.1 event counters.
+// The engine reports two of these per interval: the raw in-interval counts
+// and the Equation 1 accumulated values (previous value halved plus the
+// raw count) that the boundary actually classified.
+type IntervalCounts struct {
+	PrefSent        uint64 `json:"pref_sent"`        // prefetches sent to memory
+	PrefUsed        uint64 `json:"pref_used"`        // useful prefetches
+	PrefLate        uint64 `json:"pref_late"`        // late prefetches
+	PollutionMisses uint64 `json:"pollution_misses"` // demand misses caused by the prefetcher
+	DemandMisses    uint64 `json:"demand_misses"`    // all demand misses
+}
+
+// IntervalRecord captures one completed sampling interval for analysis:
+// the inputs the boundary saw (raw and decayed counters), the metric
+// values and their threshold classifications, the Table 2 case that fired,
+// and the resulting counter and insertion-policy state.
 type IntervalRecord struct {
 	Accuracy  float64
 	Lateness  float64
@@ -118,6 +133,23 @@ type IntervalRecord struct {
 	Case      PolicyCase
 	Level     int // level in effect for the next interval
 	Insertion cache.InsertPos
+
+	// Raw holds the in-interval event counts; Decayed holds the Equation 1
+	// accumulated values after the boundary's halving fold — the numbers
+	// the three metrics above were computed from.
+	Raw     IntervalCounts
+	Decayed IntervalCounts
+
+	// AccClass, Late and Polluting are the threshold classifications that
+	// selected Case from Table 2.
+	AccClass  AccuracyClass
+	Late      bool
+	Polluting bool
+
+	// LevelBefore is the Dynamic Configuration Counter value before this
+	// boundary's update; Level is the value after (they are equal when the
+	// update was NoChange, saturated, or dynamic aggressiveness is off).
+	LevelBefore int
 }
 
 // FDP is the feedback engine. The memory hierarchy calls the On* hooks as
@@ -282,6 +314,13 @@ func (f *FDP) endInterval() {
 	f.evictions = 0
 	f.intervals++
 
+	raw := IntervalCounts{
+		PrefSent:        f.prefTotal.during,
+		PrefUsed:        f.usedTotal.during,
+		PrefLate:        f.lateTotal.during,
+		PollutionMisses: f.pollutionTotal.during,
+		DemandMisses:    f.demandTotal.during,
+	}
 	pref := f.prefTotal.roll()
 	used := f.usedTotal.roll()
 	late := f.lateTotal.roll()
@@ -306,6 +345,7 @@ func (f *FDP) endInterval() {
 	polluting := pollution >= th.TPollution
 
 	pc := LookupPolicy(accClass, isLate, polluting)
+	levelBefore := f.level
 	if f.cfg.DynamicAggressiveness {
 		update := pc.Update
 		if f.cfg.AccuracyOnly {
@@ -343,6 +383,18 @@ func (f *FDP) endInterval() {
 			Case:      pc,
 			Level:     f.level,
 			Insertion: f.insertion,
+			Raw:       raw,
+			Decayed: IntervalCounts{
+				PrefSent:        pref,
+				PrefUsed:        used,
+				PrefLate:        late,
+				PollutionMisses: poll,
+				DemandMisses:    demand,
+			},
+			AccClass:    accClass,
+			Late:        isLate,
+			Polluting:   polluting,
+			LevelBefore: levelBefore,
 		}
 		if f.KeepHistory {
 			f.History = append(f.History, rec)

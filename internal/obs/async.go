@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"sync/atomic"
+
+	"fdpsim/internal/sim"
+)
+
+// Async decouples a sink from the simulation loop: TraceDecision enqueues
+// onto a bounded channel and NEVER blocks — when the consumer falls
+// behind and the buffer is full, the event is dropped and counted instead.
+// A drain goroutine delivers buffered events to the wrapped sink in order.
+//
+// This is the contract the retire loop needs from any sink that does I/O:
+// the simulation's forward progress must not depend on the consumer, even
+// one that is wedged entirely (see TestAsyncBlockingSink). Lost events are
+// visible via Dropped, so a truncated trace is detectable rather than
+// silently complete-looking.
+type Async struct {
+	sink    sim.Tracer
+	ch      chan sim.DecisionEvent
+	done    chan struct{}
+	closed  atomic.Bool
+	dropped atomic.Uint64
+}
+
+// NewAsync wraps sink with a buffer-sized queue and starts the drain
+// goroutine. buffer <= 0 defaults to 256 events.
+func NewAsync(sink sim.Tracer, buffer int) *Async {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	a := &Async{
+		sink: sink,
+		ch:   make(chan sim.DecisionEvent, buffer),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(a.done)
+		for ev := range a.ch {
+			a.sink.TraceDecision(ev)
+		}
+	}()
+	return a
+}
+
+// TraceDecision implements sim.Tracer; it never blocks.
+func (a *Async) TraceDecision(ev sim.DecisionEvent) {
+	if a.closed.Load() {
+		a.dropped.Add(1)
+		return
+	}
+	select {
+	case a.ch <- ev:
+	default:
+		a.dropped.Add(1)
+	}
+}
+
+// Dropped reports how many events were discarded because the buffer was
+// full (a slow consumer) or the tracer was already closed.
+func (a *Async) Dropped() uint64 {
+	return a.dropped.Load()
+}
+
+// Close stops intake, waits for the drain goroutine to deliver buffered
+// events, and closes the wrapped sink if it has a Close. Events arriving
+// after Close are dropped, not delivered; call Close only once the run has
+// returned.
+func (a *Async) Close() error {
+	if a.closed.Swap(true) {
+		<-a.done
+	} else {
+		close(a.ch)
+		<-a.done
+	}
+	if c, ok := a.sink.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"fdpsim/internal/sim"
+)
+
+// Chrome streams DecisionEvents in the Chrome trace_event format
+// (the JSON object form: {"traceEvents":[...]}), loadable in Perfetto
+// (ui.perfetto.dev) and chrome://tracing. Each interval boundary becomes
+// one point on six counter tracks — accuracy/lateness/pollution (percent),
+// the DCC, the Table 1 (distance, degree) pair and the insertion depth —
+// plus one instant event carrying the Table 2 case and its rationale, so
+// the feedback loop's trajectory can be scrubbed on a timeline.
+//
+// Timestamps are simulated cycles interpreted as microseconds (the format
+// has no "cycles" unit); relative spacing is what matters. Cores map to
+// trace processes, so multi-core runs get per-core track groups.
+type Chrome struct {
+	bw       *bufio.Writer
+	err      error
+	n        int
+	seenCore map[int]bool
+}
+
+// chromeEvent is one trace_event record; fields beyond the five required
+// ones are omitted when empty.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewChrome returns a Chrome trace sink over w. The caller owns w; Close
+// terminates the JSON document and flushes but does not close it.
+func NewChrome(w io.Writer) *Chrome {
+	c := &Chrome{bw: bufio.NewWriter(w), seenCore: make(map[int]bool)}
+	_, err := c.bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	c.err = err
+	return c
+}
+
+// insertionDepth maps the insertion-position name to a numeric LRU-stack
+// depth so the counter track is plottable (0 = LRU .. 3 = MRU).
+func insertionDepth(pos string) int {
+	switch pos {
+	case "MRU":
+		return 3
+	case "MID":
+		return 2
+	case "LRU-4":
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (c *Chrome) emit(ev chromeEvent) {
+	if c.err != nil {
+		return
+	}
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		c.err = fmt.Errorf("obs: chrome encode: %w", err)
+		return
+	}
+	if c.n > 0 {
+		if err := c.bw.WriteByte(','); err != nil {
+			c.err = err
+			return
+		}
+	}
+	if _, err := c.bw.Write(raw); err != nil {
+		c.err = err
+		return
+	}
+	c.n++
+}
+
+// TraceDecision implements sim.Tracer.
+func (c *Chrome) TraceDecision(ev sim.DecisionEvent) {
+	if !c.seenCore[ev.Core] {
+		c.seenCore[ev.Core] = true
+		c.emit(chromeEvent{Name: "process_name", Ph: "M", Pid: ev.Core,
+			Args: map[string]any{"name": fmt.Sprintf("fdpsim core %d", ev.Core)}})
+	}
+	ts := float64(ev.Cycle)
+	counters := []struct {
+		track string
+		args  map[string]any
+	}{
+		{"accuracy %", map[string]any{"accuracy": 100 * ev.Accuracy}},
+		{"lateness %", map[string]any{"lateness": 100 * ev.Lateness}},
+		{"pollution %", map[string]any{"pollution": 100 * ev.Pollution}},
+		{"DCC", map[string]any{"level": ev.DCCAfter}},
+		{"prefetch config", map[string]any{"distance": ev.Distance, "degree": ev.Degree}},
+		{"insertion depth", map[string]any{"depth": insertionDepth(ev.Insertion)}},
+	}
+	for _, ct := range counters {
+		c.emit(chromeEvent{Name: ct.track, Ph: "C", Ts: ts, Pid: ev.Core, Args: ct.args})
+	}
+	c.emit(chromeEvent{
+		Name: fmt.Sprintf("case %d: %s", ev.Case, ev.Reason),
+		Ph:   "i", Ts: ts, Pid: ev.Core, S: "p",
+		Args: map[string]any{
+			"interval":       ev.Interval,
+			"retired":        ev.Retired,
+			"accuracy_class": ev.AccuracyClass,
+			"late":           ev.Late,
+			"polluting":      ev.Polluting,
+			"update":         ev.Update,
+			"dcc":            fmt.Sprintf("%d→%d", ev.DCCBefore, ev.DCCAfter),
+			"insertion":      ev.Insertion,
+		},
+	})
+}
+
+// Err returns the sticky write error, if any.
+func (c *Chrome) Err() error { return c.err }
+
+// Close terminates the trace document and flushes buffered output.
+func (c *Chrome) Close() error {
+	if c.err == nil {
+		_, c.err = c.bw.WriteString("]}")
+	}
+	if err := c.bw.Flush(); err != nil && c.err == nil {
+		c.err = fmt.Errorf("obs: chrome flush: %w", err)
+	}
+	return c.err
+}
+
+// WriteChrome renders a collected event slice as one Chrome trace
+// document (the service's ?format=chrome path).
+func WriteChrome(w io.Writer, events []sim.DecisionEvent) error {
+	c := NewChrome(w)
+	for _, ev := range events {
+		c.TraceDecision(ev)
+	}
+	return c.Close()
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"fdpsim/internal/obs"
 	"fdpsim/internal/sim"
 )
 
@@ -27,6 +29,10 @@ type JobRequest struct {
 	Warmup           uint64 `json:"warmup"`
 	Seed             uint64 `json:"seed"`
 	TInterval        uint64 `json:"tinterval"`
+
+	// Trace makes the job collect its FDP decision trace, downloadable at
+	// GET /v1/jobs/{id}/trace once the job is terminal.
+	Trace bool `json:"trace,omitempty"`
 
 	// Config, when present, is the full simulator configuration and takes
 	// the place of the assembled baseline.
@@ -85,9 +91,14 @@ func (r *JobRequest) BuildConfig() sim.Config {
 //	GET    /v1/jobs             list job statuses
 //	GET    /v1/jobs/{id}        poll one job
 //	GET    /v1/jobs/{id}/events SSE per-interval progress
+//	GET    /v1/jobs/{id}/trace  download the FDP decision trace
+//	                            (JSONL; ?format=chrome for Perfetto)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /metrics             Prometheus text metrics
 //	GET    /healthz             liveness
+//
+// Every route runs behind the observability middleware: request-duration
+// metrics plus one structured log line per request with a request ID.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -95,9 +106,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	return s.withObservability(mux)
 }
 
 // apiError is every non-2xx JSON body.
@@ -125,7 +137,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job request: %v", err)
 		return
 	}
-	job, err := s.Submit(req.BuildConfig())
+	var opts []SubmitOption
+	if req.Trace {
+		opts = append(opts, WithDecisionTrace())
+	}
+	job, err := s.Submit(req.BuildConfig(), opts...)
 	switch {
 	case err == nil:
 		st := job.Status()
@@ -243,9 +259,52 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleTrace serves a terminal job's FDP decision trace: JSONL by
+// default, or the Chrome trace_event document (loadable in Perfetto /
+// chrome://tracing) with ?format=chrome.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if !job.Status().State.Terminal() {
+		writeError(w, http.StatusConflict,
+			"job %s has not finished; the trace is available once the job is terminal", job.ID())
+		return
+	}
+	jsonl, ok := job.Trace()
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			"job %s has no decision trace; submit with \"trace\": true", job.ID())
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q", job.ID()+".trace.jsonl"))
+		w.WriteHeader(http.StatusOK)
+		w.Write(jsonl) //nolint:errcheck // the client went away; nothing to do
+	case "chrome":
+		events, err := obs.ReadJSONL(bytes.NewReader(jsonl))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "stored trace is unreadable: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q", job.ID()+".trace.json"))
+		w.WriteHeader(http.StatusOK)
+		obs.WriteChrome(w, events) //nolint:errcheck // ditto
+	default:
+		writeError(w, http.StatusBadRequest, "unknown trace format %q (want jsonl or chrome)", format)
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.m.render(w, len(s.queue), time.Since(s.started))
+	s.m.render(w, len(s.queue), time.Since(s.started), s.dccDistribution())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -3,21 +3,25 @@ package service
 import (
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fdpsim/internal/cache"
 )
 
-// metrics is the service's instrumentation: plain atomics and one
-// mutex-guarded histogram, rendered in Prometheus text exposition format
+// metrics is the service's instrumentation: plain atomics and
+// mutex-guarded histograms, rendered in Prometheus text exposition format
 // by render. No client library — the format is three lines per series.
 type metrics struct {
-	submitted  atomic.Uint64 // accepted submissions (including cache hits)
-	rejected   atomic.Uint64 // 429 backpressure rejections
-	completed  atomic.Uint64 // jobs reaching state done (incl. cache hits)
-	failed     atomic.Uint64
-	cancelled  atomic.Uint64
-	cacheHits  atomic.Uint64
+	submitted   atomic.Uint64 // accepted submissions (including cache hits)
+	rejected    atomic.Uint64 // 429 backpressure rejections
+	completed   atomic.Uint64 // jobs reaching state done (incl. cache hits)
+	failed      atomic.Uint64
+	cancelled   atomic.Uint64
+	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 
 	running atomic.Int64 // gauge: simulations executing right now
@@ -25,14 +29,50 @@ type metrics struct {
 	simCycles atomic.Uint64 // simulated cycles across completed runs
 	simNanos  atomic.Uint64 // wall-clock nanoseconds across completed runs
 
+	intervals  atomic.Uint64                     // FDP sampling intervals closed across all runs
+	insertions [cache.NumInsertPos]atomic.Uint64 // interval boundaries per chosen insertion position
+
+	traces         atomic.Uint64 // jobs that collected a decision trace
+	traceEvents    atomic.Uint64 // decision events captured into job traces
+	traceTruncated atomic.Uint64 // decision events dropped by per-job trace limits
+
 	queueWait histogram
+	httpDur   histogram
 }
 
-func (m *metrics) init() {
-	// Sub-millisecond to tens of seconds: queue waits span an idle pool
-	// (ns) to a saturated one (many run-lengths).
-	m.queueWait.bounds = []float64{0.001, 0.01, 0.1, 1, 10}
-	m.queueWait.counts = make([]uint64, len(m.queueWait.bounds)+1)
+// defaultQueueWaitBuckets spans an idle pool (sub-millisecond) to a
+// saturated one (many run-lengths).
+var defaultQueueWaitBuckets = []float64{0.001, 0.01, 0.1, 1, 10}
+
+// defaultHTTPBuckets spans in-memory handlers (tens of microseconds) to a
+// long-polled SSE attach.
+var defaultHTTPBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+func (m *metrics) init(queueWaitBuckets []float64) {
+	if len(queueWaitBuckets) == 0 {
+		queueWaitBuckets = defaultQueueWaitBuckets
+	}
+	m.queueWait.init(queueWaitBuckets)
+	m.httpDur.init(defaultHTTPBuckets)
+}
+
+// observeSnapshot feeds the per-interval series from a run's progress
+// stream. Final snapshots close no interval and are skipped.
+func (m *metrics) observeSnapshot(snap intervalSample) {
+	if snap.final {
+		return
+	}
+	m.intervals.Add(1)
+	if p := int(snap.insertion); p >= 0 && p < len(m.insertions) {
+		m.insertions[p].Add(1)
+	}
+}
+
+// intervalSample is the slice of a sim.Snapshot the metrics need; a named
+// struct keeps observeSnapshot testable without building full snapshots.
+type intervalSample struct {
+	final     bool
+	insertion cache.InsertPos
 }
 
 // histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
@@ -43,6 +83,29 @@ type histogram struct {
 	counts []uint64
 	sum    float64
 	count  uint64
+}
+
+// init registers the bucket bounds. Prometheus requires histogram buckets
+// in increasing order with no duplicates, so misconfigured bounds are
+// sorted and deduplicated here — at registration — rather than emitted
+// broken on every scrape. NaN and +Inf bounds are dropped (+Inf is the
+// implicit final bucket).
+func (h *histogram) init(bounds []float64) {
+	clean := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if !math.IsNaN(b) && !math.IsInf(b, +1) {
+			clean = append(clean, b)
+		}
+	}
+	sort.Float64s(clean)
+	dedup := clean[:0]
+	for i, b := range clean {
+		if i == 0 || b != dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	h.bounds = dedup
+	h.counts = make([]uint64, len(h.bounds)+1)
 }
 
 func (h *histogram) observe(v float64) {
@@ -72,9 +135,23 @@ func (h *histogram) snapshot() (cum []uint64, sum float64, count uint64) {
 	return cum, h.sum, h.count
 }
 
+// renderHistogram writes one histogram family.
+func renderHistogram(w io.Writer, h *histogram, name, help string) {
+	cum, sum, count := h.snapshot()
+	fmt.Fprintf(w, "# HELP fdpserved_%s %s\n# TYPE fdpserved_%s histogram\n", name, help, name)
+	for i, b := range h.bounds {
+		fmt.Fprintf(w, "fdpserved_%s_bucket{le=\"%g\"} %d\n", name, b, cum[i])
+	}
+	fmt.Fprintf(w, "fdpserved_%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
+	fmt.Fprintf(w, "fdpserved_%s_sum %g\n", name, sum)
+	fmt.Fprintf(w, "fdpserved_%s_count %d\n", name, count)
+}
+
 // render writes every series. queued is sampled by the caller (it is the
-// live queue length, owned by the Server).
-func (m *metrics) render(w io.Writer, queued int, uptime time.Duration) {
+// live queue length, owned by the Server); dccLevels is the distribution
+// of Dynamic Configuration Counter levels across currently running jobs
+// (index = level 1..5; index 0 unused), likewise sampled by the caller.
+func (m *metrics) render(w io.Writer, queued int, uptime time.Duration, dccLevels [6]int) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP fdpserved_%s %s\n# TYPE fdpserved_%s counter\nfdpserved_%s %d\n", name, help, name, name, v)
 	}
@@ -108,13 +185,31 @@ func (m *metrics) render(w io.Writer, queued int, uptime time.Duration) {
 	gauge("sim_cycles_per_second", "Simulation throughput: simulated cycles per wall-clock second.", cps)
 	gauge("uptime_seconds", "Seconds since the server started.", uptime.Seconds())
 
-	cum, sum, count := m.queueWait.snapshot()
-	name := "queue_wait_seconds"
-	fmt.Fprintf(w, "# HELP fdpserved_%s Time jobs spent waiting for a worker.\n# TYPE fdpserved_%s histogram\n", name, name)
-	for i, b := range m.queueWait.bounds {
-		fmt.Fprintf(w, "fdpserved_%s_bucket{le=\"%g\"} %d\n", name, b, cum[i])
+	intervals := m.intervals.Load()
+	counter("sim_intervals_total", "FDP sampling intervals closed across all runs.", intervals)
+	ips := 0.0
+	if sec := uptime.Seconds(); sec > 0 {
+		ips = float64(intervals) / sec
 	}
-	fmt.Fprintf(w, "fdpserved_%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
-	fmt.Fprintf(w, "fdpserved_%s_sum %g\n", name, sum)
-	fmt.Fprintf(w, "fdpserved_%s_count %d\n", name, count)
+	gauge("sim_intervals_per_second", "FDP feedback rate: sampling intervals closed per wall-clock second of uptime.", ips)
+
+	fmt.Fprintf(w, "# HELP fdpserved_insertion_policy_total Interval boundaries by the dynamic insertion position chosen for the next interval's prefetch fills.\n")
+	fmt.Fprintf(w, "# TYPE fdpserved_insertion_policy_total counter\n")
+	for p := range m.insertions {
+		fmt.Fprintf(w, "fdpserved_insertion_policy_total{position=%q} %d\n",
+			cache.InsertPos(p).String(), m.insertions[p].Load())
+	}
+
+	fmt.Fprintf(w, "# HELP fdpserved_dcc_level_jobs Running jobs by their current Dynamic Configuration Counter level (aggressiveness 1..5).\n")
+	fmt.Fprintf(w, "# TYPE fdpserved_dcc_level_jobs gauge\n")
+	for level := 1; level <= 5; level++ {
+		fmt.Fprintf(w, "fdpserved_dcc_level_jobs{level=\"%d\"} %d\n", level, dccLevels[level])
+	}
+
+	counter("traces_collected_total", "Jobs that collected an FDP decision trace.", m.traces.Load())
+	counter("trace_events_total", "Decision events captured into job traces.", m.traceEvents.Load())
+	counter("trace_events_truncated_total", "Decision events dropped by per-job trace limits.", m.traceTruncated.Load())
+
+	renderHistogram(w, &m.queueWait, "queue_wait_seconds", "Time jobs spent waiting for a worker.")
+	renderHistogram(w, &m.httpDur, "http_request_duration_seconds", "HTTP API request handling time (SSE streams count their full attachment).")
 }

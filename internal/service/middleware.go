@@ -1,0 +1,63 @@
+package service
+
+import (
+	"net/http"
+	"time"
+)
+
+// statusRecorder captures the response status and size for the request
+// log. It forwards Flush so SSE streaming (handleEvents) keeps working
+// behind the middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+func (r *statusRecorder) Flush() {
+	if fl, ok := r.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// withObservability instruments every request: a duration observation on
+// the http_request_duration_seconds histogram and one structured log line
+// carrying a server-unique request ID. Scrape and liveness endpoints log
+// at Debug so an aggressive Prometheus interval does not drown the job
+// lifecycle log.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqSeq.Add(1)
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+
+		s.m.httpDur.observe(elapsed.Seconds())
+		if rec.status == 0 {
+			rec.status = http.StatusOK // handler wrote nothing (e.g. aborted SSE)
+		}
+		log := s.log.Info
+		if r.URL.Path == "/metrics" || r.URL.Path == "/healthz" {
+			log = s.log.Debug
+		}
+		log("http request", "req", id, "method", r.Method, "path", r.URL.Path,
+			"status", rec.status, "bytes", rec.bytes, "duration", elapsed)
+	})
+}

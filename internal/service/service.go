@@ -19,13 +19,18 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"fdpsim/internal/obs"
 	"fdpsim/internal/sim"
 	"fdpsim/internal/store"
 )
@@ -57,6 +62,18 @@ type Config struct {
 	// time; expiry cancels it at the next interval boundary and the job
 	// completes as cancelled with its partial result.
 	JobTimeout time.Duration
+	// Logger receives structured job-lifecycle and HTTP request logs.
+	// Nil discards them.
+	Logger *slog.Logger
+	// QueueWaitBuckets overrides the queue-wait histogram's bucket upper
+	// bounds (seconds). Bounds are sorted and deduplicated at registration,
+	// so misconfigured orderings cannot produce broken scrape output.
+	// Empty means the default sub-millisecond-to-tens-of-seconds ladder.
+	QueueWaitBuckets []float64
+	// TraceLimit caps the number of decision events retained per traced
+	// job; later intervals are counted as truncated instead of growing the
+	// buffer without bound. 0 means 16384 events (~5 MB of JSONL).
+	TraceLimit int
 }
 
 // JobState is a job's lifecycle phase.
@@ -97,6 +114,13 @@ type Job struct {
 	subs        map[int]chan sim.Snapshot
 	nextSub     int
 	done        chan struct{}
+
+	// trace, when non-nil, collects the run's FDP decision events (the
+	// job was submitted with WithDecisionTrace). traceJSONL is the
+	// rendered artifact, set when the job reaches a terminal state (or
+	// immediately on a cache hit whose trace the store still has).
+	trace      *obs.Collector
+	traceJSONL []byte
 }
 
 // ID returns the job's identifier.
@@ -104,6 +128,19 @@ func (j *Job) ID() string { return j.id }
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Trace returns the job's rendered JSONL decision trace. ok is false when
+// the job was not submitted with tracing, has not reached a terminal
+// state yet, or completed as a cache hit whose trace the store no longer
+// has.
+func (j *Job) Trace() (jsonl []byte, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.traceJSONL == nil {
+		return nil, false
+	}
+	return j.traceJSONL, true
+}
 
 // JobStatus is the JSON shape of a job, returned by poll and embedded in
 // the SSE "done" event.
@@ -119,6 +156,9 @@ type JobStatus struct {
 	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
 	Error       string      `json:"error,omitempty"`
 	Result      *sim.Result `json:"result,omitempty"`
+	// Trace reports that a decision-trace artifact is downloadable at
+	// GET /v1/jobs/{id}/trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Status snapshots the job for serialization.
@@ -135,6 +175,7 @@ func (j *Job) Status() JobStatus {
 		SubmittedAt: j.submittedAt,
 		Error:       j.errMsg,
 		Result:      j.result,
+		Trace:       j.traceJSONL != nil,
 	}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt
@@ -196,6 +237,7 @@ func (j *Job) finishLocked(state JobState, res *sim.Result, errMsg string) {
 // Server owns the job table, the worker pool and the result cache.
 type Server struct {
 	cfg Config
+	log *slog.Logger
 
 	baseCtx    context.Context
 	baseCancel context.CancelCauseFunc
@@ -209,8 +251,12 @@ type Server struct {
 	closed bool
 
 	started time.Time
+	reqSeq  atomic.Uint64 // HTTP request IDs for log correlation
 	m       metrics
 }
+
+// defaultTraceLimit bounds a traced job's in-memory event buffer.
+const defaultTraceLimit = 16384
 
 // New builds a Server and starts its worker pool.
 func New(cfg Config) *Server {
@@ -220,9 +266,17 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.TraceLimit <= 0 {
+		cfg.TraceLimit = defaultTraceLimit
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
 		cfg:        cfg,
+		log:        logger,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *Job, cfg.QueueDepth),
@@ -230,11 +284,13 @@ func New(cfg Config) *Server {
 		memo:       make(map[string]sim.Result),
 		started:    time.Now(),
 	}
-	s.m.init()
+	s.m.init(cfg.QueueWaitBuckets)
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.log.Info("service started", "workers", cfg.Workers, "queue_depth", cfg.QueueDepth,
+		"store", cfg.Store != nil, "job_timeout", cfg.JobTimeout)
 	return s
 }
 
@@ -289,6 +345,21 @@ func (s *Server) storeResult(fp string, res sim.Result) {
 	}
 }
 
+// SubmitOption customizes one submission.
+type SubmitOption func(*submitOptions)
+
+type submitOptions struct {
+	trace bool
+}
+
+// WithDecisionTrace makes the job collect its FDP decision trace (one
+// event per sampling interval, bounded by Config.TraceLimit), downloadable
+// at GET /v1/jobs/{id}/trace once the job is terminal. Cache hits reuse
+// the persisted trace when the store still has one.
+func WithDecisionTrace() SubmitOption {
+	return func(o *submitOptions) { o.trace = true }
+}
+
 // Submit validates a configuration and either completes it from cache,
 // enqueues it, or rejects it (ErrQueueFull, ErrShuttingDown, or a
 // validation error wrapping sim.ErrInvalidConfig/sim.ErrUnknownWorkload).
@@ -296,7 +367,11 @@ func (s *Server) storeResult(fp string, res sim.Result) {
 // Two identical submissions racing before either completes both simulate;
 // the store's atomic Put makes the duplicate write harmless. Deduplication
 // is an at-most-once-after-completion guarantee, not an in-flight one.
-func (s *Server) Submit(cfg sim.Config) (*Job, error) {
+func (s *Server) Submit(cfg sim.Config, opts ...SubmitOption) (*Job, error) {
+	var o submitOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	if err := cfg.ValidateJob(); err != nil {
 		return nil, err
 	}
@@ -305,7 +380,8 @@ func (s *Server) Submit(cfg sim.Config) (*Job, error) {
 		// Unreachable: ValidateJob rejects custom prefetchers.
 		return nil, fmt.Errorf("%w: configuration is not fingerprintable", sim.ErrInvalidConfig)
 	}
-	cfg.Progress = nil // the worker installs its own sink
+	cfg.Progress = nil // the worker installs its own sinks
+	cfg.Tracer = nil
 
 	s.mu.Lock()
 	if s.closed {
@@ -322,17 +398,28 @@ func (s *Server) Submit(cfg sim.Config) (*Job, error) {
 		subs:        make(map[int]chan sim.Snapshot),
 		done:        make(chan struct{}),
 	}
+	if o.trace {
+		job.trace = &obs.Collector{Limit: s.cfg.TraceLimit}
+	}
 	s.jobs[job.id] = job
 	s.mu.Unlock()
 	s.m.submitted.Add(1)
+	s.log.Info("job submitted", "job", job.id, "fingerprint", shortFP(fp),
+		"workload", cfg.Workload, "prefetcher", cfg.Prefetcher, "trace", o.trace)
 
 	if res, ok := s.cacheLookup(fp); ok {
 		s.m.cacheHits.Add(1)
 		s.m.completed.Add(1)
+		var trace []byte
+		if o.trace && s.cfg.Store != nil {
+			trace, _ = s.cfg.Store.GetTrace(fp)
+		}
 		job.mu.Lock()
 		job.cacheHit = true
+		job.traceJSONL = trace
 		job.finishLocked(StateDone, &res, "")
 		job.mu.Unlock()
+		s.log.Info("job done", "job", job.id, "cache_hit", true, "trace", trace != nil)
 		return job, nil
 	}
 	s.m.cacheMisses.Add(1)
@@ -356,6 +443,15 @@ func (s *Server) Submit(cfg sim.Config) (*Job, error) {
 	}
 }
 
+// shortFP abbreviates a fingerprint for log lines (the full 64 hex chars
+// drown the rest of the record; 12 is plenty to correlate).
+func shortFP(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
+
 // dropJob removes a job that never entered the queue.
 func (s *Server) dropJob(job *Job, cause error) {
 	s.mu.Lock()
@@ -376,6 +472,7 @@ func (s *Server) Cancel(id string) (*Job, error) {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
 	}
 	job.mu.Lock()
+	state := job.state
 	switch job.state {
 	case StateQueued:
 		job.finishLocked(StateCancelled, nil, "cancelled before start")
@@ -386,6 +483,7 @@ func (s *Server) Cancel(id string) (*Job, error) {
 		job.cancel(errors.New("cancelled by client"))
 	}
 	job.mu.Unlock()
+	s.log.Info("job cancel requested", "job", job.id, "state", string(state))
 	return job, nil
 }
 
@@ -424,6 +522,7 @@ func (s *Server) runJob(job *Job) {
 	s.m.queueWait.observe(wait.Seconds())
 	s.m.running.Add(1)
 	defer s.m.running.Add(-1)
+	s.log.Info("job started", "job", job.id, "queue_wait", wait)
 
 	runCtx := ctx
 	if s.cfg.JobTimeout > 0 {
@@ -432,11 +531,43 @@ func (s *Server) runJob(job *Job) {
 		defer tcancel()
 	}
 	cfg := job.cfg
-	cfg.Progress = job.publish
+	cfg.Progress = func(snap sim.Snapshot) {
+		s.m.observeSnapshot(intervalSample{final: snap.Final, insertion: snap.Insertion})
+		job.publish(snap)
+	}
+	cfg.Tracer = nil
+	if job.trace != nil {
+		cfg.Tracer = job.trace
+	}
 	res, err := sim.RunContext(runCtx, cfg)
 
 	s.m.simCycles.Add(res.Counters.Cycles)
 	s.m.simNanos.Add(uint64(res.Elapsed.Nanoseconds()))
+
+	// Render the decision trace before finishing so Trace() and the HTTP
+	// trace endpoint see a complete artifact the moment Done() closes.
+	// Cancelled runs keep their partial trace (it matches the partial
+	// result) but only full runs are persisted, mirroring store.Put.
+	var traceJSONL []byte
+	if job.trace != nil {
+		events := job.trace.Events()
+		var buf bytes.Buffer
+		if werr := obs.WriteJSONL(&buf, events); werr == nil {
+			traceJSONL = buf.Bytes()
+		}
+		s.m.traces.Add(1)
+		s.m.traceEvents.Add(uint64(len(events)))
+		s.m.traceTruncated.Add(job.trace.Truncated())
+		if truncated := job.trace.Truncated(); truncated > 0 {
+			s.log.Warn("decision trace truncated", "job", job.id,
+				"kept", len(events), "truncated", truncated)
+		}
+		if traceJSONL != nil && err == nil && s.cfg.Store != nil {
+			// Best-effort, like storeResult: losing it costs a future
+			// cache-hit trace, not this job.
+			_ = s.cfg.Store.PutTrace(job.fp, traceJSONL)
+		}
+	}
 
 	if err == nil {
 		// Cache before finishing so a poller that sees state "done" and
@@ -444,7 +575,7 @@ func (s *Server) runJob(job *Job) {
 		s.storeResult(job.fp, res)
 	}
 	job.mu.Lock()
-	defer job.mu.Unlock()
+	job.traceJSONL = traceJSONL
 	switch {
 	case err == nil:
 		s.m.completed.Add(1)
@@ -457,6 +588,34 @@ func (s *Server) runJob(job *Job) {
 		s.m.failed.Add(1)
 		job.finishLocked(StateFailed, nil, err.Error())
 	}
+	state, started := job.state, job.startedAt
+	job.mu.Unlock()
+
+	attrs := []any{"job", job.id, "state", string(state),
+		"duration", time.Since(started), "intervals", res.Intervals}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+		s.log.Warn("job finished", attrs...)
+		return
+	}
+	s.log.Info("job finished", attrs...)
+}
+
+// dccDistribution samples, for the metrics endpoint, how many currently
+// running jobs sit at each Dynamic Configuration Counter level (1..5,
+// from their latest progress snapshot). Index 0 is unused.
+func (s *Server) dccDistribution() [6]int {
+	var dist [6]int
+	for _, job := range s.Jobs() {
+		job.mu.Lock()
+		if job.state == StateRunning && job.lastSnap != nil {
+			if lvl := job.lastSnap.Level; lvl >= 1 && lvl <= 5 {
+				dist[lvl]++
+			}
+		}
+		job.mu.Unlock()
+	}
+	return dist
 }
 
 // Shutdown stops intake (submissions fail with ErrShuttingDown), cancels
@@ -470,6 +629,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.queue)
 	}
 	s.mu.Unlock()
+	s.log.Info("shutdown: draining worker pool", "running", s.m.running.Load())
 	s.baseCancel(ErrShuttingDown)
 
 	done := make(chan struct{})

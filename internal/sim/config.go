@@ -105,6 +105,13 @@ type Config struct {
 	// and from the harness memo fingerprint (it does not affect results).
 	Progress ProgressFunc `json:"-"`
 
+	// Tracer, when set, receives one DecisionEvent per FDP interval
+	// boundary — the feedback loop's full decision trace (see trace.go and
+	// internal/obs for sinks). Like Progress it is observation-only:
+	// excluded from JSON round-trips and from the fingerprint, and a nil
+	// tracer adds no work to the simulation loop.
+	Tracer Tracer `json:"-"`
+
 	// MaxCycles aborts a run that stops making progress (safety valve).
 	MaxCycles uint64
 }

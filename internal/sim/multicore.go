@@ -109,12 +109,23 @@ func RunMultiContext(ctx context.Context, mc MultiConfig) (MultiResult, error) {
 			st.cpu.SetFetch(st.h.Fetch)
 		}
 		cores[i] = st
-		if progress := cfg.Progress; progress != nil {
+		if progress, tracer := cfg.Progress, cfg.Tracer; progress != nil || tracer != nil {
 			st := st
 			coreID := i
 			st.h.fdp.OnInterval = func(rec core.IntervalRecord) {
+				var pcyc, pret uint64
+				if st.warmed {
+					pcyc = cycle - st.warmCycle
+					pret = st.cpu.Retired() - st.warmRetired
+				}
+				st.h.traceDecision(rec, pcyc, pret)
+				if progress == nil {
+					return
+				}
 				s := Snapshot{
 					Core:      coreID,
+					Cycle:     pcyc,
+					Retired:   pret,
 					Target:    st.cfg.MaxInsts,
 					Interval:  st.h.fdp.Intervals(),
 					Accuracy:  rec.Accuracy,
@@ -124,12 +135,8 @@ func RunMultiContext(ctx context.Context, mc MultiConfig) (MultiResult, error) {
 					Level:     rec.Level,
 					Insertion: rec.Insertion,
 				}
-				if st.warmed {
-					s.Cycle = cycle - st.warmCycle
-					s.Retired = st.cpu.Retired() - st.warmRetired
-					if s.Cycle > 0 {
-						s.IPC = float64(s.Retired) / float64(s.Cycle)
-					}
+				if pcyc > 0 {
+					s.IPC = float64(pret) / float64(pcyc)
 				}
 				if st.h.pf != nil {
 					s.Level = st.h.pf.Level()

@@ -121,14 +121,27 @@ func runWith(ctx context.Context, cfg Config, src cpu.Source) (Result, error) {
 
 	// Interval streaming: the FDP engine reports each closed sampling
 	// interval; the flag gates the cycle loop's cancellation poll so
-	// cancellation latency is bounded by one interval.
+	// cancellation latency is bounded by one interval. The same boundary
+	// feeds the decision tracer and the progress sink; with neither
+	// configured the callback only sets the flag.
 	intervalClosed := false
 	h.fdp.OnInterval = func(rec core.IntervalRecord) {
 		intervalClosed = true
+		if cfg.Tracer == nil && cfg.Progress == nil {
+			return
+		}
+		var pcyc, pret uint64
+		if warmed {
+			pcyc = cycle - warmCycle
+			pret = c.Retired() - warmRetired
+		}
+		h.traceDecision(rec, pcyc, pret)
 		if cfg.Progress == nil {
 			return
 		}
 		s := Snapshot{
+			Cycle:     pcyc,
+			Retired:   pret,
 			Target:    cfg.MaxInsts,
 			Interval:  h.fdp.Intervals(),
 			Accuracy:  rec.Accuracy,
@@ -139,12 +152,8 @@ func runWith(ctx context.Context, cfg Config, src cpu.Source) (Result, error) {
 			Insertion: rec.Insertion,
 			Elapsed:   time.Since(start),
 		}
-		if warmed {
-			s.Cycle = cycle - warmCycle
-			s.Retired = c.Retired() - warmRetired
-			if s.Cycle > 0 {
-				s.IPC = float64(s.Retired) / float64(s.Cycle)
-			}
+		if pcyc > 0 {
+			s.IPC = float64(pret) / float64(pcyc)
 		}
 		if h.pf != nil {
 			s.Level = h.pf.Level()

@@ -110,8 +110,12 @@ func RunSMTContext(ctx context.Context, cfg SMTConfig) (SMTResult, error) {
 	var ctr stats.Counters
 	h := newHierarchy(&base, &ctr)
 	var cycle uint64
-	if progress := base.Progress; progress != nil {
+	if progress, tracer := base.Progress, base.Tracer; progress != nil || tracer != nil {
 		h.fdp.OnInterval = func(rec core.IntervalRecord) {
+			h.traceDecision(rec, cycle, 0)
+			if progress == nil {
+				return
+			}
 			s := Snapshot{
 				Cycle:     cycle,
 				Target:    base.MaxInsts,

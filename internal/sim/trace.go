@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"fdpsim/internal/core"
+	"fdpsim/internal/prefetch"
+)
+
+// DecisionEvent is one FDP interval boundary, fully explained: the event
+// counters the boundary read (raw in-interval counts and the Equation 1
+// decayed accumulations), the three metrics computed from them and their
+// threshold classifications, the Table 2 case that fired, the Dynamic
+// Configuration Counter before and after, the (distance, degree) pair the
+// new counter value selects from Table 1, and the LRU-stack position
+// chosen for the next interval's prefetch fills.
+//
+// Every field is a value (the two strings point at static data), so
+// building and delivering an event allocates nothing; field names are
+// stable JSON identifiers for the JSONL trace format (see internal/obs).
+type DecisionEvent struct {
+	// Core identifies the emitting core in multi-core runs (0 otherwise).
+	Core int `json:"core"`
+	// Interval is the 1-based index of the sampling interval that closed.
+	Interval uint64 `json:"interval"`
+	// Cycle and Retired stamp the boundary in simulated time (post-warmup,
+	// matching Result and Snapshot; zero while warming up).
+	Cycle   uint64 `json:"cycle"`
+	Retired uint64 `json:"retired"`
+
+	// Raw holds the event counts of this interval alone; Decayed holds the
+	// Equation 1 accumulations (previous value halved plus Raw) that the
+	// metrics below were computed from.
+	Raw     core.IntervalCounts `json:"raw"`
+	Decayed core.IntervalCounts `json:"decayed"`
+
+	// The three feedback metrics at this boundary.
+	Accuracy  float64 `json:"accuracy"`
+	Lateness  float64 `json:"lateness"`
+	Pollution float64 `json:"pollution"`
+
+	// Threshold classifications: AccuracyClass is "Low", "Medium" or
+	// "High"; Late and Polluting are the lateness/pollution cutoffs.
+	AccuracyClass string `json:"accuracy_class"`
+	Late          bool   `json:"late"`
+	Polluting     bool   `json:"polluting"`
+
+	// Case is the Table 2 row (1..12) selected by the classifications,
+	// Update its counter adjustment (-1, 0, +1) and Reason the paper's
+	// stated rationale.
+	Case   int    `json:"case"`
+	Update int    `json:"update"`
+	Reason string `json:"reason"`
+
+	// DCCBefore and DCCAfter are the Dynamic Configuration Counter around
+	// the update (equal when the update was NoChange, saturated, or
+	// dynamic aggressiveness is off).
+	DCCBefore int `json:"dcc_before"`
+	DCCAfter  int `json:"dcc_after"`
+	// Distance and Degree are the aggressiveness parameters DCCAfter
+	// selects (Table 1 for stream-style prefetchers; the GHB ladder uses
+	// one value for both).
+	Distance int `json:"distance"`
+	Degree   int `json:"degree"`
+
+	// Insertion is the LRU-stack position chosen for prefetch fills until
+	// the next boundary: "MRU", "MID", "LRU-4" or "LRU".
+	Insertion string `json:"insertion"`
+}
+
+// Tracer receives one DecisionEvent per FDP interval boundary. It is
+// called synchronously from the simulation loop (never concurrently for
+// one core), so implementations must be cheap or hand off — internal/obs
+// provides file sinks and a non-blocking Async wrapper. A nil tracer
+// costs nothing on the hot path (guarded by BenchmarkTraceDecision and
+// TestTraceDecisionAllocs).
+type Tracer interface {
+	TraceDecision(ev DecisionEvent)
+}
+
+// levelParams maps a Dynamic Configuration Counter value to the prefetch
+// (distance, degree) it configures for the given prefetcher kind.
+func levelParams(kind PrefetcherKind, level int) (distance, degree int) {
+	if level < prefetch.MinLevel {
+		level = prefetch.MinLevel
+	}
+	if level > prefetch.MaxLevel {
+		level = prefetch.MaxLevel
+	}
+	if kind == PrefGHB {
+		d := prefetch.GHBDegrees[level]
+		return d, d
+	}
+	sl := prefetch.StreamLevels[level]
+	return sl.Distance, sl.Degree
+}
+
+// traceDecision builds one DecisionEvent from a closed interval's record
+// and delivers it to the configured tracer. cycle and retired are the
+// post-warmup stamps (zero during warmup). No-op without a tracer; the
+// event is stack-built and passed by value, so the call is allocation-free
+// either way.
+func (h *hierarchy) traceDecision(rec core.IntervalRecord, cycle, retired uint64) {
+	t := h.cfg.Tracer
+	if t == nil {
+		return
+	}
+	distance, degree := levelParams(h.cfg.Prefetcher, rec.Level)
+	t.TraceDecision(DecisionEvent{
+		Core:          h.coreID,
+		Interval:      h.fdp.Intervals(),
+		Cycle:         cycle,
+		Retired:       retired,
+		Raw:           rec.Raw,
+		Decayed:       rec.Decayed,
+		Accuracy:      rec.Accuracy,
+		Lateness:      rec.Lateness,
+		Pollution:     rec.Pollution,
+		AccuracyClass: rec.AccClass.String(),
+		Late:          rec.Late,
+		Polluting:     rec.Polluting,
+		Case:          rec.Case.Case,
+		Update:        int(rec.Case.Update),
+		Reason:        rec.Case.Reason,
+		DCCBefore:     rec.LevelBefore,
+		DCCAfter:      rec.Level,
+		Distance:      distance,
+		Degree:        degree,
+		Insertion:     rec.Insertion.String(),
+	})
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+
+	"fdpsim/internal/core"
+	"fdpsim/internal/prefetch"
+	"fdpsim/internal/stats"
+)
+
+// collectTracer retains every event (test sink).
+type collectTracer struct{ events []DecisionEvent }
+
+func (t *collectTracer) TraceDecision(ev DecisionEvent) { t.events = append(t.events, ev) }
+
+// noopTracer measures the cost of delivering events to a sink that does
+// nothing, isolating the event-building overhead itself.
+type noopTracer struct{ n uint64 }
+
+func (t *noopTracer) TraceDecision(ev DecisionEvent) { t.n++ }
+
+// boundaryHarness builds a hierarchy whose FDP engine closes one sampling
+// interval per useful eviction, with the OnInterval hook wired the way
+// runWith wires it. Driving OnEviction exercises the full interval-boundary
+// path: Equation 1 rolls, Table 2 lookup, level/insertion update, record
+// construction and tracer delivery.
+func boundaryHarness(tr Tracer) *hierarchy {
+	cfg := WithFDP(PrefStream)
+	cfg.FDP.TInterval = 1
+	cfg.Tracer = tr
+	ctr := &stats.Counters{}
+	h := newHierarchy(&cfg, ctr)
+	h.fdp.OnInterval = func(rec core.IntervalRecord) { h.traceDecision(rec, 123, 456) }
+	return h
+}
+
+// TestTraceDecisionAllocs pins the hot-path contract: an interval boundary
+// allocates nothing, with no tracer and with a delivering tracer alike
+// (DecisionEvent is stack-built and passed by value).
+func TestTraceDecisionAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   Tracer
+	}{
+		{"nil-tracer", nil},
+		{"noop-tracer", &noopTracer{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h := boundaryHarness(tc.tr)
+			var block uint64
+			if got := testing.AllocsPerRun(1000, func() {
+				block++
+				h.fdp.OnEviction(block, true, true, false)
+			}); got != 0 {
+				t.Errorf("interval boundary allocated %.1f objects/op, want 0", got)
+			}
+		})
+	}
+}
+
+// BenchmarkIntervalBoundary measures the interval-boundary cost with the
+// tracer disabled and enabled; CI runs it with -benchtime=1x as a smoke
+// test and the allocation report must stay at 0 allocs/op.
+func BenchmarkIntervalBoundary(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		tr   Tracer
+	}{
+		{"nil-tracer", nil},
+		{"noop-tracer", &noopTracer{}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			h := boundaryHarness(tc.tr)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.fdp.OnEviction(uint64(i), true, true, false)
+			}
+		})
+	}
+}
+
+// TestDecisionTraceMatchesResult runs a short FDP simulation with a
+// collecting tracer and cross-checks the event stream against the run's
+// aggregate Result: one event per closed interval, contiguous interval
+// indices, a final DCC matching FinalLevel, and per-event invariants
+// (metric ranges, Table 1 distance/degree consistency, valid Table 2 case).
+func TestDecisionTraceMatchesResult(t *testing.T) {
+	tr := &collectTracer{}
+	cfg := WithFDP(PrefStream)
+	cfg.Workload = "chaserand"
+	cfg.MaxInsts = 150_000
+	cfg.L2Blocks = 1024 // small L2 so useful evictions (and intervals) come fast
+	cfg.FDP.TInterval = 64
+	cfg.Tracer = tr
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Intervals == 0 {
+		t.Fatal("run closed no FDP intervals; shrink L2 or TInterval")
+	}
+	if got := uint64(len(tr.events)); got != res.Intervals {
+		t.Fatalf("got %d decision events, want one per interval (%d)", got, res.Intervals)
+	}
+	last := tr.events[len(tr.events)-1]
+	if last.DCCAfter != res.FinalLevel {
+		t.Errorf("last event DCCAfter = %d, want Result.FinalLevel %d", last.DCCAfter, res.FinalLevel)
+	}
+	for i, ev := range tr.events {
+		if ev.Interval != uint64(i+1) {
+			t.Fatalf("event %d has interval %d, want %d", i, ev.Interval, i+1)
+		}
+		if ev.Case < 1 || ev.Case > 12 {
+			t.Errorf("event %d: Table 2 case %d out of range", i, ev.Case)
+		}
+		for name, v := range map[string]float64{
+			"accuracy": ev.Accuracy, "lateness": ev.Lateness, "pollution": ev.Pollution,
+		} {
+			if v < 0 || v > 1 {
+				t.Errorf("event %d: %s = %g out of [0,1]", i, name, v)
+			}
+		}
+		if d := ev.DCCAfter - ev.DCCBefore; d != int(core.Decrement) && d != int(core.NoChange) && d != int(core.Increment) {
+			t.Errorf("event %d: DCC moved %d→%d (step %d)", i, ev.DCCBefore, ev.DCCAfter, d)
+		}
+		want := prefetch.StreamLevels[ev.DCCAfter]
+		if ev.Distance != want.Distance || ev.Degree != want.Degree {
+			t.Errorf("event %d: level %d gives (distance,degree)=(%d,%d), want Table 1 (%d,%d)",
+				i, ev.DCCAfter, ev.Distance, ev.Degree, want.Distance, want.Degree)
+		}
+		switch ev.Insertion {
+		case "MRU", "MID", "LRU-4", "LRU":
+		default:
+			t.Errorf("event %d: unexpected insertion %q", i, ev.Insertion)
+		}
+		if ev.Decayed.PrefUsed < ev.Raw.PrefUsed/2 && ev.Decayed.PrefUsed < ev.Raw.PrefUsed {
+			t.Errorf("event %d: decayed used %d below raw %d fold", i, ev.Decayed.PrefUsed, ev.Raw.PrefUsed)
+		}
+	}
+}
+
+// TestTracerExcludedFromFingerprint keeps observation out of the cache
+// key: the same configuration with and without a tracer must fingerprint
+// identically.
+func TestTracerExcludedFromFingerprint(t *testing.T) {
+	cfg := WithFDP(PrefStream)
+	fp1, ok1 := Fingerprint(cfg)
+	cfg.Tracer = &noopTracer{}
+	cfg.Progress = func(Snapshot) {}
+	fp2, ok2 := Fingerprint(cfg)
+	if !ok1 || !ok2 || fp1 != fp2 {
+		t.Fatalf("fingerprint changed with tracer/progress installed: %q vs %q", fp1, fp2)
+	}
+}

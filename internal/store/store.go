@@ -136,12 +136,16 @@ func (s *Store) Put(fp string, res sim.Result) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	dst := s.path(fp)
+	return writeAtomic(s.path(fp), fp, raw)
+}
+
+// writeAtomic lands raw at dst via write-to-temp + rename in the same
+// directory, so concurrent readers (and other processes) never observe a
+// half-written entry.
+func writeAtomic(dst, fp string, raw []byte) error {
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	// Write-to-temp + rename keeps concurrent readers (and other
-	// processes) from ever observing a half-written entry.
 	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+fp+".tmp*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)

@@ -1,0 +1,87 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Decision traces (internal/obs JSONL) are stored next to their Result
+// under <dir>/<fp[:2]>/<fp>.trace.jsonl. They are an optional artifact:
+// a Result entry may exist without a trace (the job was not submitted
+// with tracing) and a trace is never served without its checksum
+// verifying, mirroring the Result envelope's corruption policy. The
+// ".trace.jsonl" extension keeps Len, which counts ".json" entries,
+// honest about how many Results the store holds.
+//
+// On-disk format: a one-line JSON header (version + sha256 of the
+// payload), a newline, then the raw JSONL payload. Keeping the payload
+// verbatim — rather than embedding it in a JSON envelope — means GetTrace
+// returns bytes that stream straight out of an HTTP handler.
+
+// traceHeader is the first line of a trace file.
+type traceHeader struct {
+	Version  int    `json:"version"`
+	Checksum string `json:"checksum"` // sha256 hex of the JSONL payload
+}
+
+func (s *Store) tracePath(fp string) string {
+	return filepath.Join(s.dir, fp[:2], fp+".trace.jsonl")
+}
+
+// PutTrace stores a JSONL decision trace under a fingerprint, atomically
+// replacing any previous trace.
+func (s *Store) PutTrace(fp string, jsonl []byte) error {
+	if !validFP(fp) {
+		return fmt.Errorf("store: invalid fingerprint %q", fp)
+	}
+	sum := sha256.Sum256(jsonl)
+	header, err := json.Marshal(traceHeader{Version: entryVersion, Checksum: hex.EncodeToString(sum[:])})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	raw := make([]byte, 0, len(header)+1+len(jsonl))
+	raw = append(raw, header...)
+	raw = append(raw, '\n')
+	raw = append(raw, jsonl...)
+	return writeAtomic(s.tracePath(fp), fp, raw)
+}
+
+// GetTrace returns the stored JSONL decision trace for a fingerprint. A
+// missing, truncated, garbled, checksum-mismatched or version-skewed
+// trace is a miss; corrupt traces are unlinked like corrupt Results.
+func (s *Store) GetTrace(fp string) ([]byte, bool) {
+	if !validFP(fp) {
+		return nil, false
+	}
+	raw, err := os.ReadFile(s.tracePath(fp))
+	if err != nil {
+		return nil, false
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		s.discardTrace(fp)
+		return nil, false
+	}
+	var h traceHeader
+	if err := json.Unmarshal(raw[:nl], &h); err != nil {
+		s.discardTrace(fp)
+		return nil, false
+	}
+	if h.Version != entryVersion {
+		return nil, false // schema skew: stale, not corrupt — leave it
+	}
+	payload := raw[nl+1:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != h.Checksum {
+		s.discardTrace(fp)
+		return nil, false
+	}
+	return payload, true
+}
+
+func (s *Store) discardTrace(fp string) { os.Remove(s.tracePath(fp)) }

@@ -114,6 +114,15 @@ func WithProgress(fn ProgressFunc) Option {
 	return func(cfg *Config) error { cfg.Progress = fn; return nil }
 }
 
+// WithTracer streams one DecisionEvent per FDP sampling interval to the
+// given sink while the run is in flight. The sink is called from the
+// simulation goroutine at every interval boundary; a sink that does I/O
+// should decouple itself (or wrap itself in an async drop-not-block
+// queue) rather than stall the retire loop. A nil tracer costs nothing.
+func WithTracer(t Tracer) Option {
+	return func(cfg *Config) error { cfg.Tracer = t; return nil }
+}
+
 // WithFDPHistory records every sampling interval's metrics and decisions
 // in Result.History.
 func WithFDPHistory() Option {
