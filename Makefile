@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build build-cmds vet lint test test-short test-race check bench bench-trace experiments serve fuzz fuzz-smoke clean
+.PHONY: all build build-cmds vet lint test test-short test-race check bench bench-core bench-trace experiments serve fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -40,6 +40,25 @@ check: build vet test-race
 # One benchmark per paper table/figure (see bench_test.go).
 bench:
 	go test -bench=. -benchmem
+
+# The event-engine contract: the warmed cycle loop allocates nothing.
+# Runs the cycle-loop benchmarks with -benchmem and fails if either
+# BenchmarkIntervalBoundary or BenchmarkPerInstruction reports a nonzero
+# allocs/op. To compare throughput across commits, save this target's
+# output on both and feed them to benchstat (not vendored; the target
+# only points at it so nothing here needs network access):
+#   make bench-core > old.txt   # on the base commit
+#   make bench-core > new.txt   # on your branch
+#   benchstat old.txt new.txt
+bench-core:
+	@out=$$(go test ./internal/sim -run xxx -bench 'BenchmarkIntervalBoundary|BenchmarkPerInstruction' -benchmem); \
+	status=$$?; echo "$$out"; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	if echo "$$out" | grep -E 'Benchmark(IntervalBoundary|PerInstruction).* [1-9][0-9]* allocs/op' >/dev/null; then \
+		echo "bench-core: hot-path benchmark allocated (want 0 allocs/op)"; exit 1; \
+	fi
+	@command -v benchstat >/dev/null 2>&1 || \
+		echo "benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest) — single run only, no comparison"
 
 # The tracer hot-path guard: the interval boundary must stay
 # allocation-free with tracing disabled (and with a no-op tracer).

@@ -175,3 +175,28 @@ func BenchmarkSingleRunFDP(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkInstsPerSecond measures end-to-end simulator throughput in
+// retired instructions per wall-clock second on representative
+// memory-intensive workloads (the number the event-engine refactor is
+// judged by; compare runs with benchstat). Each iteration is one full
+// simulation, so allocs/op includes one-time construction — the
+// steady-state zero-allocation guarantee is enforced separately by
+// TestPerInstructionAllocs and BenchmarkPerInstruction in internal/sim.
+func BenchmarkInstsPerSecond(b *testing.B) {
+	const insts = 200_000
+	for _, w := range []string{"seqstream", "mixedphase", "chaserand"} {
+		b.Run(w, func(b *testing.B) {
+			cfg := WithFDP(PrefStream)
+			cfg.Workload = w
+			cfg.MaxInsts = insts
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*insts/b.Elapsed().Seconds(), "insts/s")
+		})
+	}
+}

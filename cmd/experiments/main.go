@@ -18,6 +18,10 @@
 // fdpserved): completed simulations are persisted there and re-runs of
 // the same grid — including after a crash or across machines sharing the
 // directory — are served from disk instead of re-simulating.
+//
+// -cpuprofile/-memprofile write pprof artifacts covering the whole grid,
+// the usual way to check that a change kept the hot path allocation-free
+// under every prefetcher and workload at once.
 package main
 
 import (
@@ -85,6 +89,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "overall deadline; expiry cancels in-flight simulations (0 = none)")
 		progress = flag.Bool("progress", false, "stream per-simulation completions and per-FDP-interval telemetry to stderr")
 		cacheDir = flag.String("cache-dir", "", "persist results in this content-addressed store; repeat runs are served from disk")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
 
@@ -106,6 +112,9 @@ func main() {
 	} else {
 		cli.Fatalf("experiments", cli.ExitUsage, "use -list, -run <ids>, or -all")
 	}
+
+	stopProf := cli.StartProfiles("experiments", *cpuProf, *memProf)
+	defer stopProf() // normal return and the -timeout return; exits call it explicitly
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -147,6 +156,7 @@ func main() {
 				if errors.Is(err, context.DeadlineExceeded) {
 					return // the -timeout budget is a planned stop: exit 0
 				}
+				stopProf()
 				os.Exit(cli.ExitInterrupted)
 			}
 			cli.Fatalf("experiments", cli.ExitError, "%s: %v", id, err)

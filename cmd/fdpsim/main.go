@@ -16,7 +16,10 @@
 // see docs/OBSERVABILITY.md. A SIGINT (Ctrl-C) or an expired -timeout
 // stops the run at the next interval boundary and the partial metrics
 // (and a partial trace) are written, marked "(partial)". Only results go
-// to stdout; listings, progress and diagnostics go to stderr. Exit codes
+// to stdout; listings, progress and diagnostics go to stderr.
+// -cpuprofile/-memprofile write pprof artifacts covering the simulation
+// (the heap profile is taken after a final GC, so it shows steady-state
+// retention — the event engine's pools — not transient garbage). Exit codes
 // follow the shared table in internal/cli: 0 success (including a
 // -timeout stop), 2 bad usage, configuration or a -list listing, 130
 // interrupted by SIGINT, 1 other errors.
@@ -97,8 +100,10 @@ func progressLine(s fdpsim.Snapshot) {
 // runMulticore executes one multi-core simulation with every core using
 // the already-parsed single-core configuration as its template.
 // finishTrace, when non-nil, finalizes the -trace-out artifact (the cores
-// share the template's tracer; events carry the core index).
-func runMulticore(ctx context.Context, tmpl fdpsim.Config, workloads []string, jsonOut bool, finishTrace func()) {
+// share the template's tracer; events carry the core index). stopProf
+// finalizes the -cpuprofile/-memprofile artifacts; it runs here because
+// this function exits the process, skipping main's deferred copy.
+func runMulticore(ctx context.Context, tmpl fdpsim.Config, workloads []string, jsonOut bool, finishTrace, stopProf func()) {
 	var mc fdpsim.MultiConfig
 	for _, w := range workloads {
 		cfg := tmpl
@@ -106,6 +111,7 @@ func runMulticore(ctx context.Context, tmpl fdpsim.Config, workloads []string, j
 		mc.Cores = append(mc.Cores, cfg)
 	}
 	res, err := fdpsim.RunMultiContext(ctx, mc)
+	stopProf()
 	if finishTrace != nil {
 		finishTrace() // flush even a partial trace; it matches the partial result
 	}
@@ -161,6 +167,8 @@ func main() {
 		progress     = flag.Bool("progress", false, "stream per-FDP-interval telemetry to stderr")
 		traceOut     = flag.String("trace-out", "", "write the FDP decision trace (one event per sampling interval) to this file")
 		traceFormat  = flag.String("trace-format", "jsonl", "decision trace format: jsonl or chrome (Perfetto-loadable)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProfile   = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
 
@@ -239,13 +247,16 @@ func main() {
 		cfg.Progress = progressLine
 	}
 	finishTrace := openTrace(&cfg, *traceOut, *traceFormat)
+	stopProf := cli.StartProfiles(tool, *cpuProfile, *memProfile)
+	defer stopProf()
 
 	if *cores != "" {
-		runMulticore(ctx, cfg, strings.Split(*cores, ","), *jsonOut, finishTrace)
+		runMulticore(ctx, cfg, strings.Split(*cores, ","), *jsonOut, finishTrace, stopProf)
 		return
 	}
 
 	res, err := fdpsim.RunContext(ctx, cfg)
+	stopProf() // before os.Exit below, and before report rendering
 	if finishTrace != nil {
 		finishTrace() // flush even a partial trace; it matches the partial result
 	}

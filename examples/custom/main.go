@@ -36,12 +36,11 @@ func (p *naivePrefetcher) SetLevel(level int) {
 
 func (p *naivePrefetcher) Level() int { return p.level }
 
-func (p *naivePrefetcher) Observe(ev fdpsim.PrefetchEvent) []uint64 {
+func (p *naivePrefetcher) Observe(ev *fdpsim.PrefetchEvent, out []uint64) []uint64 {
 	if !ev.Miss {
-		return nil
+		return out
 	}
 	n := 4 * p.level
-	out := make([]uint64, 0, n)
 	for i := 1; i <= n; i++ {
 		out = append(out, ev.Block+uint64(i))
 	}

@@ -99,11 +99,11 @@ type tagAlong struct{ level int }
 func (p *tagAlong) Name() string       { return "tagalong" }
 func (p *tagAlong) SetLevel(level int) { p.level = level }
 func (p *tagAlong) Level() int         { return p.level }
-func (p *tagAlong) Observe(ev PrefetchEvent) []uint64 {
+func (p *tagAlong) Observe(ev *PrefetchEvent, out []uint64) []uint64 {
 	if !ev.Miss {
-		return nil
+		return out
 	}
-	return []uint64{ev.Block + 1}
+	return append(out, ev.Block+1)
 }
 
 // rampSource emits one streaming load every fourth op.

@@ -202,23 +202,23 @@ func (c *Cache) Touch(block Addr) bool {
 // block if the set is full. The eviction hook fires before the new block is
 // placed. If the block is already resident, its state is updated in place
 // (pref/dirty are ORed in) without reordering the stack, and no eviction
-// occurs. Insert returns the evicted block, if any.
-func (c *Cache) Insert(block Addr, pos InsertPos, pref, dirty bool) *Evicted {
+// occurs. Insert returns the evicted block by value (evicted reports
+// whether there was one), so the per-fill path stays allocation-free.
+func (c *Cache) Insert(block Addr, pos InsertPos, pref, dirty bool) (ev Evicted, evicted bool) {
 	s := c.setFor(block)
 	if i := s.find(block); i >= 0 {
 		// Duplicate fill (e.g. prefetch raced a demand fill): merge state.
 		s.blocks[i].Dirty = s.blocks[i].Dirty || dirty
 		s.blocks[i].Pref = s.blocks[i].Pref || pref
-		return nil
+		return Evicted{}, false
 	}
-	var ev *Evicted
 	if len(s.blocks) == c.ways {
 		victim := s.blocks[0]
 		copy(s.blocks, s.blocks[1:])
 		s.blocks = s.blocks[:len(s.blocks)-1]
-		ev = &Evicted{Block: victim, ByPrefetch: pref}
+		ev, evicted = Evicted{Block: victim, ByPrefetch: pref}, true
 		if c.OnEvict != nil {
-			c.OnEvict(*ev)
+			c.OnEvict(ev)
 		}
 	}
 	depth := pos.Depth(c.ways)
@@ -229,7 +229,7 @@ func (c *Cache) Insert(block Addr, pos InsertPos, pref, dirty bool) *Evicted {
 	s.blocks = append(s.blocks, Block{})
 	copy(s.blocks[depth+1:], s.blocks[depth:])
 	s.blocks[depth] = nb
-	return ev
+	return ev, evicted
 }
 
 // Invalidate removes the block if present and returns its prior state.

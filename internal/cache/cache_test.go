@@ -136,8 +136,7 @@ func TestInsertLRUEvictedFirst(t *testing.T) {
 func TestDuplicateInsertMergesState(t *testing.T) {
 	c := New("t", 4, 4)
 	c.Insert(1, PosMRU, false, false)
-	ev := c.Insert(1, PosLRU, true, true)
-	if ev != nil {
+	if _, evicted := c.Insert(1, PosLRU, true, true); evicted {
 		t.Fatal("duplicate insert evicted")
 	}
 	b := c.Lookup(1)

@@ -1,0 +1,48 @@
+package cli
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles arms the -cpuprofile/-memprofile plumbing shared by the
+// commands. An empty path disables that profile. The returned stop
+// function finishes both artifacts — it stops the CPU profile and writes
+// a post-GC heap profile — and is idempotent, so callers can both defer
+// it and invoke it explicitly before an os.Exit (which would skip the
+// defer). Call stop as soon as the measured work completes: the heap
+// profile then reflects the simulation's steady state, not the
+// report-rendering epilogue.
+func StartProfiles(tool, cpuPath, memPath string) (stop func()) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		FatalIf(tool, err)
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			Fatalf(tool, ExitError, "starting CPU profile: %v", err)
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			FatalIf(tool, cpuFile.Close())
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			FatalIf(tool, err)
+			runtime.GC() // publish final retained sizes, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				Fatalf(tool, ExitError, "writing heap profile: %v", err)
+			}
+			FatalIf(tool, f.Close())
+		}
+	}
+}

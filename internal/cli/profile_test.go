@@ -1,0 +1,36 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartProfilesWritesBothArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	stop := StartProfiles("test", cpuPath, memPath)
+	// Burn a little CPU and heap so the profiles have something to say.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1<<12))
+	}
+	_ = sink
+	stop()
+	stop() // idempotent: the second call must not rewrite or fail
+	for _, p := range []string{cpuPath, memPath} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartProfilesDisabled(t *testing.T) {
+	stop := StartProfiles("test", "", "")
+	stop() // nothing armed: must be a clean no-op
+}

@@ -35,15 +35,18 @@ type Source interface {
 	Next() MicroOp
 }
 
-// MemFunc submits a memory access to the hierarchy. done must be invoked
-// when the data is available to the core; it is never called synchronously.
-type MemFunc func(addr, pc uint64, store bool, done func())
+// MemFunc submits a memory access to the hierarchy. Loads carry their ROB
+// index (robIdx >= 0) and load sequence number; the hierarchy answers by
+// calling CompleteLoad(robIdx, seq) when the data is available — never
+// synchronously. Stores pass robIdx < 0 and expect no completion.
+type MemFunc func(addr, pc uint64, store bool, robIdx int32, seq uint64)
 
 // FetchFunc asks the hierarchy for the instruction block containing pc.
 // It returns true when the block is immediately available (an L1I hit —
-// fetch is pipelined, so no stall); on a miss it returns false and must
-// invoke done when the block arrives, at which point dispatch resumes.
-type FetchFunc func(pc uint64, done func()) bool
+// fetch is pipelined, so no stall); on a miss it returns false and the
+// hierarchy calls CompleteFetch when the block arrives, at which point
+// dispatch resumes.
+type FetchFunc func(pc uint64) bool
 
 // Config sizes the core.
 type Config struct {
@@ -81,9 +84,21 @@ type CPU struct {
 	loadsDispatched uint64
 	ringSeq         [loadRingSize]uint64
 	ringDone        [loadRingSize]bool
-	ringWaiters     [loadRingSize][]int // ROB indices blocked on this load
+	// Waiters blocked on each load form an intrusive FIFO list threaded
+	// through ROB indices: waiterHead/waiterTail per ring slot, waiterNext
+	// per ROB entry (-1 terminated). A ROB entry waits on at most one
+	// producer, so one link per entry suffices — and, unlike per-slot
+	// slices, the arrays never allocate as random dependence patterns walk
+	// the ring.
+	waiterHead [loadRingSize]int32
+	waiterTail [loadRingSize]int32
+	waiterNext []int32
 
-	readyQ []int // ROB indices of loads ready to issue
+	// readyQ holds ROB indices of loads ready to issue, in a fixed ring:
+	// at most one queue entry per ROB slot, so ROB-many slots suffice.
+	readyQ     []int32
+	readyHead  int
+	readyCount int
 
 	retired       uint64
 	retiredLoads  uint64
@@ -119,7 +134,18 @@ func New(cfg Config, src Source, mem MemFunc) *CPU {
 	if cfg.LoadPorts <= 0 {
 		cfg.LoadPorts = 4
 	}
-	return &CPU{cfg: cfg, src: src, mem: mem, rob: make([]robEntry, cfg.ROB)}
+	qcap := 1
+	for qcap < cfg.ROB {
+		qcap <<= 1
+	}
+	c := &CPU{cfg: cfg, src: src, mem: mem,
+		rob: make([]robEntry, cfg.ROB), readyQ: make([]int32, qcap),
+		waiterNext: make([]int32, cfg.ROB)}
+	for i := range c.waiterHead {
+		c.waiterHead[i] = -1
+		c.waiterTail[i] = -1
+	}
+	return c
 }
 
 // Retired returns the number of retired micro-ops.
@@ -183,14 +209,24 @@ func (c *CPU) retire() {
 	}
 }
 
+func (c *CPU) pushReady(idx int32) {
+	c.readyQ[(c.readyHead+c.readyCount)&(len(c.readyQ)-1)] = idx
+	c.readyCount++
+}
+
+func (c *CPU) popReady() int32 {
+	idx := c.readyQ[c.readyHead]
+	c.readyHead = (c.readyHead + 1) & (len(c.readyQ) - 1)
+	c.readyCount--
+	return idx
+}
+
 func (c *CPU) issue() {
 	ports := c.cfg.LoadPorts
-	for ports > 0 && len(c.readyQ) > 0 {
-		idx := c.readyQ[0]
-		c.readyQ = c.readyQ[1:]
+	for ports > 0 && c.readyCount > 0 {
+		idx := c.popReady()
 		e := &c.rob[idx]
-		seq := e.loadSeq
-		c.mem(e.addr, e.pc, false, func() { c.completeLoad(idx, seq) })
+		c.mem(e.addr, e.pc, false, idx, e.loadSeq)
 		ports--
 	}
 }
@@ -215,7 +251,7 @@ func (c *CPU) dispatch() {
 			break // the op stays pending until its block arrives
 		}
 		c.havePending = false
-		idx := c.tail
+		idx := int32(c.tail)
 		e := &c.rob[idx]
 		*e = robEntry{kind: op.Kind, addr: op.Addr, pc: op.PC}
 		c.tail = (c.tail + 1) % len(c.rob)
@@ -230,7 +266,7 @@ func (c *CPU) dispatch() {
 			// Stores complete into the store buffer immediately; the write
 			// traffic still flows through the hierarchy.
 			e.completed = true
-			c.mem(op.Addr, op.PC, true, nil)
+			c.mem(op.Addr, op.PC, true, -1, 0)
 		case Load:
 			c.loadsDispatched++
 			seq := c.loadsDispatched
@@ -238,11 +274,18 @@ func (c *CPU) dispatch() {
 			slot := seq % loadRingSize
 			c.ringSeq[slot] = seq
 			c.ringDone[slot] = false
-			c.ringWaiters[slot] = c.ringWaiters[slot][:0]
+			c.waiterHead[slot], c.waiterTail[slot] = -1, -1
 			if dep := c.depSeq(op.Dep, seq); dep != 0 && !c.loadComplete(dep) {
-				c.ringWaiters[dep%loadRingSize] = append(c.ringWaiters[dep%loadRingSize], idx)
+				ds := dep % loadRingSize
+				c.waiterNext[idx] = -1
+				if c.waiterTail[ds] < 0 {
+					c.waiterHead[ds] = idx
+				} else {
+					c.waiterNext[c.waiterTail[ds]] = idx
+				}
+				c.waiterTail[ds] = idx
 			} else {
-				c.readyQ = append(c.readyQ, idx)
+				c.pushReady(idx)
 			}
 		}
 	}
@@ -265,7 +308,7 @@ func (c *CPU) tryFetch(op MicroOp) bool {
 	}
 	// A stalled attempt must not advance the sequential-PC cursor: the
 	// same op retries after the block arrives.
-	if c.fetch(fpc, func() { c.fetchStalled = false }) {
+	if c.fetch(fpc) {
 		c.curFetchBlock = fblock
 		c.nextPC = fpc + 4
 		return true
@@ -298,14 +341,20 @@ func (c *CPU) loadComplete(seq uint64) bool {
 	return c.ringDone[slot]
 }
 
-func (c *CPU) completeLoad(robIdx int, seq uint64) {
+// CompleteLoad delivers the data for the load in ROB slot robIdx with
+// sequence number seq, waking any dependents. Called by the hierarchy.
+func (c *CPU) CompleteLoad(robIdx int32, seq uint64) {
 	c.rob[robIdx].completed = true
 	slot := seq % loadRingSize
 	if c.ringSeq[slot] == seq {
 		c.ringDone[slot] = true
-		for _, w := range c.ringWaiters[slot] {
-			c.readyQ = append(c.readyQ, w)
+		for w := c.waiterHead[slot]; w >= 0; w = c.waiterNext[w] {
+			c.pushReady(w)
 		}
-		c.ringWaiters[slot] = c.ringWaiters[slot][:0]
+		c.waiterHead[slot], c.waiterTail[slot] = -1, -1
 	}
 }
+
+// CompleteFetch unblocks dispatch after an instruction-fetch miss. Called
+// by the hierarchy.
+func (c *CPU) CompleteFetch() { c.fetchStalled = false }

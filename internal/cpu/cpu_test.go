@@ -20,35 +20,45 @@ func (s *scriptSource) Next() MicroOp {
 	return op
 }
 
-// fixedMem completes every access a fixed number of ticks later.
+// fixedMem completes every load a fixed number of ticks later by calling
+// CompleteLoad on the CPU under test (set before the first tick).
 type fixedMem struct {
-	latency  int
-	pending  [][2]interface{} // (remaining, done)
+	latency int
+	c       *CPU
+	pending []struct {
+		left   int
+		robIdx int32
+		seq    uint64
+	}
 	issues   int
 	perCycle []int
 	cycleNow int
 }
 
-func (m *fixedMem) access(addr, pc uint64, store bool, done func()) {
+func (m *fixedMem) access(addr, pc uint64, store bool, robIdx int32, seq uint64) {
 	m.issues++
 	for len(m.perCycle) <= m.cycleNow {
 		m.perCycle = append(m.perCycle, 0)
 	}
 	m.perCycle[m.cycleNow]++
-	if done != nil {
-		m.pending = append(m.pending, [2]interface{}{m.latency, done})
+	if robIdx >= 0 {
+		m.pending = append(m.pending, struct {
+			left   int
+			robIdx int32
+			seq    uint64
+		}{m.latency, robIdx, seq})
 	}
 }
 
 func (m *fixedMem) tick() {
 	m.cycleNow++
-	var keep [][2]interface{}
+	keep := m.pending[:0]
 	for _, p := range m.pending {
-		n := p[0].(int) - 1
-		if n <= 0 {
-			p[1].(func())()
+		p.left--
+		if p.left <= 0 {
+			m.c.CompleteLoad(p.robIdx, p.seq)
 		} else {
-			keep = append(keep, [2]interface{}{n, p[1]})
+			keep = append(keep, p)
 		}
 	}
 	m.pending = keep
@@ -57,6 +67,7 @@ func (m *fixedMem) tick() {
 // run drives the CPU until target retirements, returning elapsed cycles.
 func run(t *testing.T, c *CPU, m *fixedMem, target uint64, maxCycles int) uint64 {
 	t.Helper()
+	m.c = c
 	for i := 0; i < maxCycles; i++ {
 		m.tick()
 		c.Tick()

@@ -3,42 +3,35 @@ package cpu
 import "testing"
 
 // fetchModel simulates an L1I with a fixed miss latency: blocks become
-// resident after their first (stalling) fetch.
+// resident after their first (stalling) fetch, and arrivals unblock the
+// CPU under test via CompleteFetch (set c before the first tick).
 type fetchModel struct {
 	resident map[uint64]bool
 	latency  int
-	pending  []struct {
-		left int
-		done func()
-	}
-	misses int
+	c        *CPU
+	pending  []int
+	misses   int
 }
 
-func (m *fetchModel) fetch(pc uint64, done func()) bool {
+func (m *fetchModel) fetch(pc uint64) bool {
 	block := pc >> 6
 	if m.resident[block] {
 		return true
 	}
 	m.misses++
 	m.resident[block] = true
-	m.pending = append(m.pending, struct {
-		left int
-		done func()
-	}{m.latency, done})
+	m.pending = append(m.pending, m.latency)
 	return false
 }
 
 func (m *fetchModel) tick() {
-	var keep []struct {
-		left int
-		done func()
-	}
-	for _, p := range m.pending {
-		p.left--
-		if p.left <= 0 {
-			p.done()
+	keep := m.pending[:0]
+	for _, left := range m.pending {
+		left--
+		if left <= 0 {
+			m.c.CompleteFetch()
 		} else {
-			keep = append(keep, p)
+			keep = append(keep, left)
 		}
 	}
 	m.pending = keep
@@ -59,6 +52,7 @@ func TestFetchStallGatesDispatch(t *testing.T) {
 	mem := &fixedMem{latency: 1}
 	c := New(DefaultConfig(), &pcSource{}, mem.access)
 	c.SetFetch(fm.fetch)
+	fm.c, mem.c = c, c
 	target := uint64(1600) // 100 blocks of 16 ops
 	var cycles uint64
 	for cycles = 0; c.Retired() < target && cycles < 100000; cycles++ {
@@ -90,6 +84,7 @@ func TestFetchHitsDoNotStall(t *testing.T) {
 	mem := &fixedMem{latency: 1}
 	c := New(DefaultConfig(), &pcSource{}, mem.access)
 	c.SetFetch(fm.fetch)
+	fm.c, mem.c = c, c
 	var cycles uint64
 	for cycles = 0; c.Retired() < 8000 && cycles < 10000; cycles++ {
 		mem.tick()
@@ -118,6 +113,7 @@ func TestFetchSequentialDefaultPC(t *testing.T) {
 	}
 	c := New(DefaultConfig(), src, mem.access)
 	c.SetFetch(fm.fetch)
+	fm.c, mem.c = c, c
 	for cycles := 0; c.Retired() < 6000 && cycles < 50000; cycles++ {
 		mem.tick()
 		fm.tick()

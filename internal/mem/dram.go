@@ -53,6 +53,10 @@ type Request struct {
 	Finished    uint64 // cycle the data transfer completed
 	bank        int
 	row         uint64
+	// pooled marks requests drawn from the DRAM's free list via Acquire;
+	// only those are recycled, so caller-constructed &Request{} values
+	// (tests, external drivers) are never reused behind the caller's back.
+	pooled bool
 }
 
 // Latency returns end-to-end cycles from enqueue to completion.
@@ -142,6 +146,14 @@ type DRAM struct {
 	// "goes out on the bus" moment used to count sent prefetches.
 	OnStart func(r *Request)
 	stats   Stats
+	// freeReqs recycles completed pooled requests (see Acquire).
+	freeReqs []*Request
+	// nextSchedule memoizes a failed scheduler scan: no queued request can
+	// win the command bus before this cycle, so Tick skips the scan
+	// entirely until then. Any queue mutation (enqueue, promote, start)
+	// resets it to zero, forcing a real scan. Purely an optimization — the
+	// skipped scans are exactly the ones schedule proves would fail.
+	nextSchedule uint64
 }
 
 // New constructs a DRAM model from the configuration.
@@ -163,6 +175,19 @@ func New(cfg Config) *DRAM {
 	if cfg.ScanWindow <= 0 {
 		d.cfg.ScanWindow = 1
 	}
+	// Pre-size every request-holding structure to its working depth so the
+	// simulation loop never grows them: the queues to their cap, the
+	// completion heap to a generous transfer backlog, and the request pool
+	// to the worst-case in-flight population (all queues full plus the
+	// backlog) — after which Acquire/release recycle without allocating.
+	for k := range d.queues {
+		d.queues[k] = make([]*Request, 0, d.cfg.QueueCap)
+	}
+	d.pending = make(completionHeap, 0, 64)
+	d.freeReqs = make([]*Request, 0, 3*d.cfg.QueueCap+64)
+	for i := 0; i < cap(d.freeReqs); i++ {
+		d.freeReqs = append(d.freeReqs, &Request{pooled: true})
+	}
 	return d
 }
 
@@ -178,18 +203,45 @@ func (d *DRAM) QueueLen(k Kind) int { return len(d.queues[k]) }
 // CanEnqueue reports whether a request of the given kind would be accepted.
 func (d *DRAM) CanEnqueue(k Kind) bool { return len(d.queues[k]) < d.cfg.QueueCap }
 
+// Acquire returns a zeroed Request from the DRAM's internal free list.
+// Pooled requests are recycled automatically: after Done returns on
+// completion (for writebacks, after the transfer finishes), or when
+// Enqueue rejects them — in both cases the caller must not retain the
+// pointer. Requests constructed directly with &Request{} are untouched by
+// the pool and remain owned by their creator.
+func (d *DRAM) Acquire() *Request {
+	if n := len(d.freeReqs); n > 0 {
+		r := d.freeReqs[n-1]
+		d.freeReqs = d.freeReqs[:n-1]
+		*r = Request{pooled: true}
+		return r
+	}
+	return &Request{pooled: true}
+}
+
+// release returns a pooled request to the free list; a no-op for
+// caller-constructed requests.
+func (d *DRAM) release(r *Request) {
+	if r.pooled {
+		d.freeReqs = append(d.freeReqs, r)
+	}
+}
+
 // Enqueue admits a request into its priority queue, stamping arrival at the
 // given cycle. It returns false (and drops the request) when the queue is
-// full; callers decide whether to retry.
+// full; callers decide whether to retry. A rejected pooled request goes
+// straight back to the free list, so it must not be re-submitted.
 func (d *DRAM) Enqueue(r *Request, cycle uint64) bool {
 	if len(d.queues[r.Kind]) >= d.cfg.QueueCap {
 		d.stats.Dropped[r.Kind]++
+		d.release(r)
 		return false
 	}
 	r.Enqueued = cycle
 	r.bank = int(r.Block & d.bankMask)
 	r.row = (r.Block >> d.bankShift) >> d.rowShift
 	d.queues[r.Kind] = append(d.queues[r.Kind], r)
+	d.nextSchedule = 0 // new work invalidates the memoized scan
 	return true
 }
 
@@ -202,6 +254,7 @@ func (d *DRAM) Promote(block cache.Addr) bool {
 			d.queues[Prefetch] = append(q[:i], q[i+1:]...)
 			r.Kind = Demand
 			d.queues[Demand] = append(d.queues[Demand], r)
+			d.nextSchedule = 0 // the scan order changed
 			return true
 		}
 	}
@@ -228,6 +281,7 @@ func (d *DRAM) Tick(cycle uint64) {
 		if r.Done != nil {
 			r.Done(r)
 		}
+		d.release(r)
 	}
 }
 
@@ -242,6 +296,14 @@ func (d *DRAM) order() [numKinds]Kind {
 }
 
 func (d *DRAM) schedule(cycle uint64) {
+	if cycle < d.nextSchedule {
+		return // a prior scan proved nothing can start before nextSchedule
+	}
+	// earliest accumulates the soonest cycle any scanned entry could win
+	// the bus. Within a queue arrivals are FIFO, so once entry j is not yet
+	// past its command latency no later entry is either, and the break is
+	// sound both for this scan and for the memoized lower bound.
+	earliest := ^uint64(0)
 	for _, k := range d.order() {
 		q := d.queues[k]
 		window := d.cfg.ScanWindow
@@ -250,18 +312,26 @@ func (d *DRAM) schedule(cycle uint64) {
 		}
 		for i := 0; i < window; i++ {
 			r := q[i]
-			if r.Enqueued+d.cfg.CmdLatency > cycle {
+			if ready := r.Enqueued + d.cfg.CmdLatency; ready > cycle {
+				if ready < earliest {
+					earliest = ready
+				}
 				break // FIFO within a queue: later entries arrived later
 			}
 			b := &d.banks[r.bank]
 			if b.freeAt > cycle {
+				if b.freeAt < earliest {
+					earliest = b.freeAt
+				}
 				continue
 			}
 			d.start(r, cycle)
 			d.queues[k] = append(q[:i], q[i+1:]...)
-			return // one command per cycle
+			d.nextSchedule = 0 // the queue changed; rescan next cycle
+			return             // one command per cycle
 		}
 	}
+	d.nextSchedule = earliest
 }
 
 func (d *DRAM) start(r *Request, cycle uint64) {

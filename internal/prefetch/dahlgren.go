@@ -69,14 +69,14 @@ func (p *DahlgrenPrefetcher) Adaptations() uint64 { return p.adapted }
 
 // Observe implements Prefetcher: misses trigger sequential prefetches;
 // first demand uses of prefetched blocks (PrefHit) count as useful.
-func (p *DahlgrenPrefetcher) Observe(ev Event) []uint64 {
+func (p *DahlgrenPrefetcher) Observe(ev *Event, out []uint64) []uint64 {
 	if ev.PrefHit {
 		p.used++
 	}
 	if !ev.Miss {
-		return nil
+		return out
 	}
-	out := make([]uint64, 0, p.degree)
+	start := len(out)
 	for i := 1; i <= p.degree; i++ {
 		a := ev.Block + uint64(i)
 		if a > p.maxBlock {
@@ -84,7 +84,7 @@ func (p *DahlgrenPrefetcher) Observe(ev Event) []uint64 {
 		}
 		out = append(out, a)
 	}
-	p.sent += len(out)
+	p.sent += len(out) - start
 	if p.sent >= dahlgrenWindow {
 		p.adapt()
 	}

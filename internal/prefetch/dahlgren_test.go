@@ -4,11 +4,11 @@ import "testing"
 
 func TestDahlgrenSequentialDegree(t *testing.T) {
 	p := NewDahlgren(0.75, 0.40)
-	out := p.Observe(Event{Block: 100, Miss: true})
+	out := observe(p, Event{Block: 100, Miss: true})
 	if len(out) != 2 || out[0] != 101 || out[1] != 102 {
 		t.Fatalf("initial degree-2 prefetches = %v", out)
 	}
-	if p.Observe(Event{Block: 200}) != nil {
+	if observe(p, Event{Block: 200}) != nil {
 		t.Fatal("hit without PrefHit triggered prefetches")
 	}
 }
@@ -18,8 +18,8 @@ func TestDahlgrenGrowsOnHighAccuracy(t *testing.T) {
 	start := p.Degree()
 	// Every prefetch is used: degree must double at the window boundary.
 	for i := 0; p.Adaptations() == 0 && i < 10000; i++ {
-		for _, blk := range p.Observe(Event{Block: uint64(i * 100), Miss: true}) {
-			p.Observe(Event{Block: blk, PrefHit: true})
+		for _, blk := range observe(p, Event{Block: uint64(i * 100), Miss: true}) {
+			observe(p, Event{Block: blk, PrefHit: true})
 		}
 	}
 	if p.Degree() != start*2 {
@@ -31,7 +31,7 @@ func TestDahlgrenShrinksOnLowAccuracy(t *testing.T) {
 	p := NewDahlgren(0.75, 0.40)
 	// No prefetch is ever used: degree must halve to the floor of 1.
 	for i := 0; p.Degree() > 1 && i < 10000; i++ {
-		p.Observe(Event{Block: uint64(i * 1000), Miss: true})
+		observe(p, Event{Block: uint64(i * 1000), Miss: true})
 	}
 	if p.Degree() != 1 {
 		t.Fatalf("degree = %d after useless windows, want 1", p.Degree())
@@ -44,8 +44,8 @@ func TestDahlgrenShrinksOnLowAccuracy(t *testing.T) {
 func TestDahlgrenDegreeCap(t *testing.T) {
 	p := NewDahlgren(0.75, 0.40)
 	for i := 0; i < 50000 && p.Degree() < dahlgrenMaxDegree; i++ {
-		for _, blk := range p.Observe(Event{Block: uint64(i * 100), Miss: true}) {
-			p.Observe(Event{Block: blk, PrefHit: true})
+		for _, blk := range observe(p, Event{Block: uint64(i * 100), Miss: true}) {
+			observe(p, Event{Block: blk, PrefHit: true})
 		}
 	}
 	if p.Degree() != dahlgrenMaxDegree {
@@ -53,8 +53,8 @@ func TestDahlgrenDegreeCap(t *testing.T) {
 	}
 	// Further accurate windows must not exceed the cap.
 	for i := 0; i < 1000; i++ {
-		for _, blk := range p.Observe(Event{Block: uint64(1<<30 + i*100), Miss: true}) {
-			p.Observe(Event{Block: blk, PrefHit: true})
+		for _, blk := range observe(p, Event{Block: uint64(1<<30 + i*100), Miss: true}) {
+			observe(p, Event{Block: blk, PrefHit: true})
 		}
 	}
 	if p.Degree() > dahlgrenMaxDegree {
@@ -90,9 +90,9 @@ func TestHybridMergesEngines(t *testing.T) {
 	}
 	// Train the stride engine on a large stride the stream engine rejects.
 	const pc = 0x7000
-	p.Observe(Event{Block: 50000, PC: pc, Miss: true})
-	p.Observe(Event{Block: 50100, PC: pc, Miss: true})
-	out := p.Observe(Event{Block: 50200, PC: pc, Miss: true})
+	observe(p, Event{Block: 50000, PC: pc, Miss: true})
+	observe(p, Event{Block: 50100, PC: pc, Miss: true})
+	out := observe(p, Event{Block: 50200, PC: pc, Miss: true})
 	found := false
 	for _, b := range out {
 		if b == 50300 {
@@ -111,7 +111,7 @@ func TestHybridDeduplicates(t *testing.T) {
 	const pc = 0x8000
 	var out []uint64
 	for i := uint64(0); i < 6; i++ {
-		out = p.Observe(Event{Block: 9000 + i, PC: pc, Miss: true})
+		out = observe(p, Event{Block: 9000 + i, PC: pc, Miss: true})
 	}
 	seen := make(map[uint64]bool)
 	for _, b := range out {

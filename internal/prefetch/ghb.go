@@ -34,11 +34,17 @@ type GHBPrefetcher struct {
 	head       int
 	seq        uint64
 	index      map[uint64]*ghbIndexEntry
+	freeIndex  []*ghbIndexEntry // recycled index entries (bounded by indexCap)
 	indexCap   int
 	czoneShift uint
 	level      int
 	tick       uint64
 	maxBlock   uint64
+	// hist/x/d are per-Observe scratch, reused so the steady-state miss
+	// path performs no heap allocation.
+	hist []uint64
+	x    []int64
+	d    []int64
 }
 
 // NewGHB creates a GHB C/DC prefetcher. bufSize is the history-buffer
@@ -66,6 +72,9 @@ func NewGHB(bufSize, indexEntries, czoneBlocks int) *GHBPrefetcher {
 		czoneShift: shift,
 		level:      3,
 		maxBlock:   1 << 58,
+		hist:       make([]uint64, 0, ghbMaxHistory),
+		x:          make([]int64, 0, ghbMaxHistory),
+		d:          make([]int64, 0, ghbMaxHistory),
 	}
 	for i := range g.buf {
 		g.buf[i].prev = -1
@@ -86,18 +95,18 @@ func (g *GHBPrefetcher) Level() int { return g.level }
 func (g *GHBPrefetcher) Degree() int { return GHBDegrees[g.level] }
 
 // Observe implements Prefetcher: the GHB trains on L2 demand misses only.
-func (g *GHBPrefetcher) Observe(ev Event) []uint64 {
+func (g *GHBPrefetcher) Observe(ev *Event, out []uint64) []uint64 {
 	if !ev.Miss {
-		return nil
+		return out
 	}
 	g.tick++
 	zone := ev.Block >> g.czoneShift
 	g.push(zone, ev.Block)
 	hist := g.history(zone)
 	if len(hist) < 3 {
-		return nil
+		return out
 	}
-	return g.correlate(hist)
+	return g.correlate(hist, out)
 }
 
 // push records a miss in the GHB, linking it to the zone's previous entry.
@@ -113,7 +122,13 @@ func (g *GHBPrefetcher) push(zone, block uint64) {
 		if len(g.index) >= g.indexCap {
 			g.evictIndex()
 		}
-		ie = &ghbIndexEntry{}
+		if n := len(g.freeIndex); n > 0 {
+			ie = g.freeIndex[n-1]
+			g.freeIndex = g.freeIndex[:n-1]
+			*ie = ghbIndexEntry{}
+		} else {
+			ie = &ghbIndexEntry{}
+		}
 		g.index[zone] = ie
 	}
 	ie.idx = g.head
@@ -137,16 +152,20 @@ func (g *GHBPrefetcher) evictIndex() {
 			victim = z
 		}
 	}
+	if ie, ok := g.index[victim]; ok {
+		g.freeIndex = append(g.freeIndex, ie)
+	}
 	delete(g.index, victim)
 }
 
 // history walks the zone's chain and returns miss addresses newest-first.
+// The returned slice is g.hist, valid until the next call.
 func (g *GHBPrefetcher) history(zone uint64) []uint64 {
 	ie := g.index[zone]
 	if ie == nil || !g.valid(ie.idx, ie.seq) {
 		return nil
 	}
-	out := make([]uint64, 0, ghbMaxHistory)
+	out := g.hist[:0]
 	idx := ie.idx
 	for len(out) < ghbMaxHistory {
 		e := &g.buf[idx]
@@ -160,21 +179,23 @@ func (g *GHBPrefetcher) history(zone uint64) []uint64 {
 		}
 		idx = p
 	}
+	g.hist = out
 	return out
 }
 
 // correlate applies delta correlation to a newest-first address history:
 // find an earlier occurrence of the two most recent deltas, then replay the
 // deltas that followed it (cyclically) to produce up to Degree prefetches.
-func (g *GHBPrefetcher) correlate(hist []uint64) []uint64 {
-	// Chronological addresses: x[0] oldest .. x[n-1] newest.
+func (g *GHBPrefetcher) correlate(hist []uint64, out []uint64) []uint64 {
+	// Chronological addresses: x[0] oldest .. x[n-1] newest. n is at most
+	// ghbMaxHistory, so the preallocated scratch never regrows.
 	n := len(hist)
-	x := make([]int64, n)
+	x := g.x[:n]
 	for i, b := range hist {
 		x[n-1-i] = int64(b)
 	}
 	// Delta stream d[i] = x[i+1]-x[i], length n-1; key is the last pair.
-	d := make([]int64, n-1)
+	d := g.d[:n-1]
 	for i := 0; i+1 < n; i++ {
 		d[i] = x[i+1] - x[i]
 	}
@@ -187,18 +208,17 @@ func (g *GHBPrefetcher) correlate(hist []uint64) []uint64 {
 		}
 	}
 	if match < 0 {
-		return nil
+		return out
 	}
 	// Replay deltas d[match+1..], wrapping back to d[match-1]'s successor
 	// region (the C/DC "delta replay" loop), until Degree prefetches.
 	replay := d[match+1:]
 	if len(replay) == 0 {
-		return nil
+		return out
 	}
 	degree := g.Degree()
-	out := make([]uint64, 0, degree)
 	addr := x[n-1]
-	for i := 0; len(out) < degree; i++ {
+	for i, emitted := 0, 0; emitted < degree; i, emitted = i+1, emitted+1 {
 		addr += replay[i%len(replay)]
 		if addr < 0 || uint64(addr) > g.maxBlock {
 			break

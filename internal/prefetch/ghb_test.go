@@ -77,7 +77,7 @@ func TestGHBZoneIsolation(t *testing.T) {
 func TestGHBHitsDoNotTrain(t *testing.T) {
 	g := NewGHB(256, 256, 1024)
 	for i := uint64(0); i < 8; i++ {
-		if out := g.Observe(Event{Block: 100 + i, Miss: false}); out != nil {
+		if out := observe(g, Event{Block: 100 + i, Miss: false}); out != nil {
 			t.Fatal("GHB trained on an L2 hit")
 		}
 	}

@@ -1,0 +1,7 @@
+package prefetch
+
+// observe adapts the append-style Observe contract for tests written
+// against per-call slices: nil in, the engine's appended output out.
+func observe(p Prefetcher, ev Event) []uint64 {
+	return p.Observe(&ev, nil)
+}

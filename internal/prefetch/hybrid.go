@@ -10,6 +10,9 @@ type HybridPrefetcher struct {
 	stream *StreamPrefetcher
 	stride *StridePrefetcher
 	level  int
+	// sa/sb hold each engine's raw output between Observe calls so the
+	// merge allocates nothing in steady state.
+	sa, sb []uint64
 }
 
 // NewHybrid creates a stream+stride hybrid with the given stream tracker
@@ -35,24 +38,28 @@ func (p *HybridPrefetcher) SetLevel(level int) {
 // Level implements Prefetcher.
 func (p *HybridPrefetcher) Level() int { return p.level }
 
-// Observe implements Prefetcher.
-func (p *HybridPrefetcher) Observe(ev Event) []uint64 {
-	a := p.stream.Observe(ev)
-	b := p.stride.Observe(ev)
-	if len(b) == 0 {
-		return a
+// Observe implements Prefetcher. Requests are merged stream-first with
+// duplicates removed; the nested containment scan replaces a map because
+// the combined degree is at most eight addresses.
+func (p *HybridPrefetcher) Observe(ev *Event, out []uint64) []uint64 {
+	p.sa = p.stream.Observe(ev, p.sa[:0])
+	p.sb = p.stride.Observe(ev, p.sb[:0])
+	if len(p.sb) == 0 {
+		return append(out, p.sa...)
 	}
-	if len(a) == 0 {
-		return b
+	if len(p.sa) == 0 {
+		return append(out, p.sb...)
 	}
-	seen := make(map[uint64]bool, len(a)+len(b))
-	out := make([]uint64, 0, len(a)+len(b))
-	for _, blocks := range [2][]uint64{a, b} {
+	start := len(out)
+	for _, blocks := range [2][]uint64{p.sa, p.sb} {
+	next:
 		for _, blk := range blocks {
-			if !seen[blk] {
-				seen[blk] = true
-				out = append(out, blk)
+			for _, have := range out[start:] {
+				if have == blk {
+					continue next
+				}
 			}
+			out = append(out, blk)
 		}
 	}
 	return out

@@ -30,12 +30,11 @@ func (p *NextLinePrefetcher) Level() int { return p.level }
 func (p *NextLinePrefetcher) Degree() int { return StreamLevels[p.level].Degree * 2 }
 
 // Observe implements Prefetcher.
-func (p *NextLinePrefetcher) Observe(ev Event) []uint64 {
+func (p *NextLinePrefetcher) Observe(ev *Event, out []uint64) []uint64 {
 	if !ev.Miss && !ev.PrefHit {
-		return nil
+		return out
 	}
 	degree := p.Degree()
-	out := make([]uint64, 0, degree)
 	for i := 1; i <= degree; i++ {
 		a := ev.Block + uint64(i)
 		if a > p.maxBlock {

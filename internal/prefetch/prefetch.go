@@ -20,12 +20,16 @@ type Event struct {
 	PrefHit bool
 }
 
-// Prefetcher is the interface the memory hierarchy drives. Observe returns
-// the block addresses to prefetch in issue order; the owner applies queue
-// limits and cache/MSHR filtering.
+// Prefetcher is the interface the memory hierarchy drives. Observe appends
+// the block addresses to prefetch, in issue order, to out and returns the
+// extended slice (append-style, like strconv.AppendInt); the owner applies
+// queue limits and cache/MSHR filtering. The hierarchy calls Observe once
+// per demand L2 access with a reused event and a reused scratch slice, so
+// implementations must not retain either across calls — this contract is
+// what keeps the simulator's hot path allocation-free.
 type Prefetcher interface {
 	Name() string
-	Observe(ev Event) []uint64
+	Observe(ev *Event, out []uint64) []uint64
 	// SetLevel selects an aggressiveness level 1 (very conservative) to 5
 	// (very aggressive); out-of-range values are clamped.
 	SetLevel(level int)

@@ -23,7 +23,7 @@ func TestRampEarnsAggressiveness(t *testing.T) {
 	missAt(s, 102)
 	var last []uint64
 	for b := uint64(103); b < 160; b++ {
-		if out := s.Observe(Event{Block: b}); len(out) > 0 {
+		if out := observe(s, Event{Block: b}); len(out) > 0 {
 			last = out
 		}
 	}
@@ -42,7 +42,7 @@ func TestRampCappedByGlobalLevel(t *testing.T) {
 	missAt(s, 101)
 	missAt(s, 102)
 	for b := uint64(103); b < 200; b++ {
-		if out := s.Observe(Event{Block: b}); len(out) > 1 {
+		if out := observe(s, Event{Block: b}); len(out) > 1 {
 			t.Fatalf("entry exceeded the global degree cap: %v", out)
 		}
 	}

@@ -105,7 +105,7 @@ func (s *StreamPrefetcher) entryLevel(e *streamEntry) int {
 
 // Observe implements Prefetcher. Demand misses allocate and train entries;
 // any demand access inside a monitored region triggers prefetches.
-func (s *StreamPrefetcher) Observe(ev Event) []uint64 {
+func (s *StreamPrefetcher) Observe(ev *Event, out []uint64) []uint64 {
 	s.tick++
 	addr := int64(ev.Block)
 
@@ -114,11 +114,11 @@ func (s *StreamPrefetcher) Observe(ev Event) []uint64 {
 	if e := s.findMonitor(addr); e != nil {
 		e.lastUsed = s.tick
 		e.accesses++
-		return s.issue(e)
+		return s.issue(e, out)
 	}
 
 	if !ev.Miss {
-		return nil
+		return out
 	}
 
 	// A miss near a training/allocated entry contributes a direction vote.
@@ -127,15 +127,15 @@ func (s *StreamPrefetcher) Observe(ev Event) []uint64 {
 		s.train(e, addr)
 		if e.state == streamMonitor {
 			// Treat the trained miss as the first access to the region.
-			return s.issue(e)
+			return s.issue(e, out)
 		}
-		return nil
+		return out
 	}
 
 	// Otherwise the miss allocates a new tracking entry.
 	e := s.victim()
 	*e = streamEntry{state: streamAllocated, first: addr, last: addr, lastUsed: s.tick}
-	return nil
+	return out
 }
 
 func (s *StreamPrefetcher) findMonitor(addr int64) *streamEntry {
@@ -216,11 +216,10 @@ func (s *StreamPrefetcher) train(e *streamEntry, addr int64) {
 // issue generates the prefetch addresses [P+1 .. P+N] (direction-adjusted)
 // for a monitored entry and slides the region per footnote 5: the start
 // pointer begins advancing only once the region has grown to Distance.
-func (s *StreamPrefetcher) issue(e *streamEntry) []uint64 {
+func (s *StreamPrefetcher) issue(e *streamEntry, out []uint64) []uint64 {
 	lvl := s.entryLevel(e)
 	n := int64(StreamLevels[lvl].Degree)
 	dist := int64(StreamLevels[lvl].Distance)
-	out := make([]uint64, 0, n)
 	for i := int64(1); i <= n; i++ {
 		a := e.end + e.dir*i
 		if a < 0 || a > s.maxBlock {

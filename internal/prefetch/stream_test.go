@@ -7,7 +7,7 @@ import (
 
 // missAt feeds a demand L2 miss to the prefetcher.
 func missAt(p Prefetcher, block uint64) []uint64 {
-	return p.Observe(Event{Block: block, Miss: true})
+	return observe(p, Event{Block: block, Miss: true})
 }
 
 func TestStreamTrainsAscending(t *testing.T) {
@@ -86,7 +86,7 @@ func TestStreamMonitorIssuesDegreeAndAdvances(t *testing.T) {
 		t.Fatalf("transition prefetches = %v, want [105 106]", first)
 	}
 	// Access inside the region issues the next two and slides the end.
-	out := s.Observe(Event{Block: 103})
+	out := observe(s, Event{Block: 103})
 	if len(out) != 2 || out[0] != 107 || out[1] != 108 {
 		t.Fatalf("monitor prefetches = %v, want [107 108]", out)
 	}
@@ -99,7 +99,7 @@ func TestStreamDistanceClampsRegion(t *testing.T) {
 	missAt(s, 101)
 	missAt(s, 102)
 	for b := uint64(103); b < 120; b++ {
-		s.Observe(Event{Block: b})
+		observe(s, Event{Block: b})
 	}
 	r := s.MonitorRegions()[0]
 	if size := r[1] - r[0]; size > 4 {
@@ -114,13 +114,13 @@ func TestStreamShrinksWhenLevelDrops(t *testing.T) {
 	missAt(s, 101)
 	missAt(s, 102)
 	for b := uint64(103); b < 140; b++ {
-		s.Observe(Event{Block: b})
+		observe(s, Event{Block: b})
 	}
 	if r := s.MonitorRegions()[0]; r[1]-r[0] <= 4 {
 		t.Fatalf("very aggressive region too small: %v", r)
 	}
 	s.SetLevel(1)
-	s.Observe(Event{Block: 140})
+	observe(s, Event{Block: 140})
 	if r := s.MonitorRegions()[0]; r[1]-r[0] > 4 {
 		t.Fatalf("region %v did not shrink after throttling", r)
 	}
@@ -131,7 +131,7 @@ func TestStreamAccessOutsideRegionNoPrefetch(t *testing.T) {
 	missAt(s, 100)
 	missAt(s, 101)
 	missAt(s, 102)
-	if out := s.Observe(Event{Block: 5000}); out != nil {
+	if out := observe(s, Event{Block: 5000}); out != nil {
 		t.Fatalf("access outside any region prefetched %v", out)
 	}
 }
@@ -149,12 +149,12 @@ func TestStreamLRUReplacement(t *testing.T) {
 	if len(s.MonitorRegions()) != 2 {
 		t.Fatalf("regions = %d, want 2", len(s.MonitorRegions()))
 	}
-	s.Observe(Event{Block: 103}) // keep stream 1 recently used
+	observe(s, Event{Block: 103}) // keep stream 1 recently used
 	missAt(s, 5000)              // replaces stream 2
 	if got := len(s.MonitorRegions()); got != 1 {
 		t.Fatalf("regions after replacement = %d, want 1", got)
 	}
-	if out := s.Observe(Event{Block: 104}); out == nil {
+	if out := observe(s, Event{Block: 104}); out == nil {
 		t.Fatal("recently used stream was replaced instead of the LRU one")
 	}
 }
@@ -202,7 +202,7 @@ func TestStreamPrefetchesAhead(t *testing.T) {
 		cur := start + 2
 		for i := 0; i < int(steps%40); i++ {
 			cur++
-			for _, p := range s.Observe(Event{Block: cur}) {
+			for _, p := range observe(s, Event{Block: cur}) {
 				if p <= cur {
 					return false
 				}

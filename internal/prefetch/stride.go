@@ -69,15 +69,15 @@ func (p *StridePrefetcher) Degree() int64 { return int64(StreamLevels[p.level].D
 
 // Observe implements Prefetcher: every demand L2 access with a valid PC
 // trains the table; Steady entries generate prefetches.
-func (p *StridePrefetcher) Observe(ev Event) []uint64 {
+func (p *StridePrefetcher) Observe(ev *Event, out []uint64) []uint64 {
 	if ev.PC == 0 {
-		return nil
+		return out
 	}
 	e := &p.table[(ev.PC>>2)&p.mask]
 	addr := int64(ev.Block)
 	if !e.valid || e.pcTag != ev.PC {
 		*e = strideEntry{pcTag: ev.PC, lastAddr: addr, state: strideInitial, ahead: addr, valid: true}
-		return nil
+		return out
 	}
 	newStride := addr - e.lastAddr
 	match := newStride == e.stride
@@ -111,14 +111,14 @@ func (p *StridePrefetcher) Observe(ev Event) []uint64 {
 	}
 	e.lastAddr = addr
 	if e.state != strideSteady || e.stride == 0 {
-		return nil
+		return out
 	}
-	return p.issue(e, addr)
+	return p.issue(e, addr, out)
 }
 
 // issue emits up to Degree prefetches for a Steady entry, never more than
 // Distance strides ahead of the current demand address.
-func (p *StridePrefetcher) issue(e *strideEntry, addr int64) []uint64 {
+func (p *StridePrefetcher) issue(e *strideEntry, addr int64, out []uint64) []uint64 {
 	// Re-anchor if the demand stream overtook the prefetch frontier or the
 	// frontier belongs to a stale run.
 	if (e.ahead-addr)*sign(e.stride) < 0 {
@@ -126,8 +126,7 @@ func (p *StridePrefetcher) issue(e *strideEntry, addr int64) []uint64 {
 	}
 	limit := addr + e.stride*p.Distance()
 	degree := p.Degree()
-	out := make([]uint64, 0, degree)
-	for int64(len(out)) < degree {
+	for n := int64(0); n < degree; n++ {
 		next := e.ahead + e.stride
 		if (limit-next)*sign(e.stride) < 0 {
 			break // would exceed the Distance window

@@ -7,7 +7,7 @@ import (
 
 // access drives the stride prefetcher with a PC-tagged demand access.
 func access(p Prefetcher, pc, block uint64) []uint64 {
-	return p.Observe(Event{Block: block, PC: pc, Miss: true})
+	return observe(p, Event{Block: block, PC: pc, Miss: true})
 }
 
 func TestStrideReachesSteady(t *testing.T) {
@@ -133,7 +133,7 @@ func TestStridePCCollisionResets(t *testing.T) {
 func TestStrideIgnoresZeroPC(t *testing.T) {
 	s := NewStride(512)
 	for i := uint64(0); i < 5; i++ {
-		if out := s.Observe(Event{Block: 100 + i*2, PC: 0, Miss: true}); out != nil {
+		if out := observe(s, Event{Block: 100 + i*2, PC: 0, Miss: true}); out != nil {
 			t.Fatal("trained on PC 0")
 		}
 	}
@@ -176,15 +176,15 @@ func TestStrideProperty(t *testing.T) {
 func TestNextLineOnMissAndTag(t *testing.T) {
 	p := NewNextLine()
 	p.SetLevel(1) // degree 2*1
-	out := p.Observe(Event{Block: 50, Miss: true})
+	out := observe(p, Event{Block: 50, Miss: true})
 	if len(out) != 2 || out[0] != 51 || out[1] != 52 {
 		t.Fatalf("miss prefetches = %v, want [51 52]", out)
 	}
-	out = p.Observe(Event{Block: 60, Miss: false, PrefHit: true})
+	out = observe(p, Event{Block: 60, Miss: false, PrefHit: true})
 	if len(out) != 2 || out[0] != 61 {
 		t.Fatalf("tag prefetches = %v", out)
 	}
-	if out := p.Observe(Event{Block: 70}); out != nil {
+	if out := observe(p, Event{Block: 70}); out != nil {
 		t.Fatal("plain hit prefetched")
 	}
 }

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+
+	"fdpsim/internal/cpu"
+	"fdpsim/internal/stats"
+	"fdpsim/internal/workload"
+)
+
+// newEngine builds a hierarchy+CPU pair over a small, interval-heavy
+// configuration (tiny L2 and TInterval so FDP decisions fire constantly —
+// the hardest case for the allocation guarantee).
+func newEngine(tb testing.TB, wl string, kind PrefetcherKind) (*hierarchy, *cpu.CPU) {
+	tb.Helper()
+	cfg := WithFDP(kind)
+	cfg.Workload = wl
+	cfg.L1Blocks, cfg.L1Ways = 256, 4
+	cfg.L2Blocks, cfg.L2Ways = 1024, 16
+	cfg.MSHRs = 32
+	cfg.PrefQueueCap = 32
+	cfg.FDP.TInterval = 64
+	src, err := workload.New(wl, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var ctr stats.Counters
+	h := newHierarchy(&cfg, &ctr)
+	return h, h.attach(&cfg, src)
+}
+
+// TestPerInstructionAllocs is the event engine's core guarantee: after
+// warmup (pools grown, maps sized, queues at working depth) the cycle loop
+// performs zero heap allocations — no closures, no events, no requests, no
+// prefetcher scratch. Guarded here so a regression fails CI, not a profile.
+func TestPerInstructionAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-thousand-cycle warmups")
+	}
+	for _, tc := range []struct {
+		wl   string
+		kind PrefetcherKind
+	}{
+		{"mixedphase", PrefStream},
+		{"mixedphase", PrefGHB},
+		{"mixedphase", PrefHybrid},
+		{"chaserand", PrefStream},
+		{"scanmod", PrefDahlgren},
+	} {
+		t.Run(tc.wl+"/"+string(tc.kind), func(t *testing.T) {
+			h, c := newEngine(t, tc.wl, tc.kind)
+			var cycle uint64
+			for cycle < 300_000 {
+				cycle++
+				h.Tick(cycle)
+				c.Tick()
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				for i := 0; i < 20_000; i++ {
+					cycle++
+					h.Tick(cycle)
+					c.Tick()
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state heap allocations: %.1f per 20k cycles, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkPerInstruction measures the warmed cycle loop per retired
+// instruction; allocs/op is the per-instruction allocation count the CI
+// gate keeps at zero.
+func BenchmarkPerInstruction(b *testing.B) {
+	h, c := newEngine(b, "mixedphase", PrefStream)
+	var cycle uint64
+	for cycle < 200_000 {
+		cycle++
+		h.Tick(cycle)
+		c.Tick()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := c.Retired()
+	for c.Retired()-start < uint64(b.N) {
+		cycle++
+		h.Tick(cycle)
+		c.Tick()
+	}
+}

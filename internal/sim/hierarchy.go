@@ -3,26 +3,49 @@ package sim
 import (
 	"fdpsim/internal/cache"
 	"fdpsim/internal/core"
+	"fdpsim/internal/cpu"
 	"fdpsim/internal/mem"
 	"fdpsim/internal/prefetch"
 	"fdpsim/internal/stats"
 )
 
+// memClient consumes completion events from the hierarchy: a CPU (or a
+// test fake) registered with attach/addClient. Events carry the client id,
+// so several cores or SMT threads can share one hierarchy.
+type memClient interface {
+	// CompleteLoad delivers the data for the load occupying ROB slot
+	// robIdx with load sequence number seq.
+	CompleteLoad(robIdx int32, seq uint64)
+	// CompleteFetch unblocks instruction dispatch after a fetch miss.
+	CompleteFetch()
+}
+
 // l1Miss tracks one outstanding L1-level miss so that same-block requests
 // merge. A block may be wanted by the data side, the instruction-fetch
 // side, or both (self-modifying-code layouts aside, "both" only happens
-// when a workload reads its own code region).
+// when a workload reads its own code region). Waiters are pooled event
+// nodes; entries themselves live in a slab indexed by the l1Misses map.
 type l1Miss struct {
-	waiters      []func()
-	fetchWaiters []func()
+	waiters      evList // evLoadDone nodes, FIFO
+	fetchWaiters evList // evFetchDone nodes, FIFO
 	anyStore     bool
 	wantData     bool
 	wantFetch    bool
 }
 
+// demandRetry is one structurally-stalled demand access awaiting replay.
+type demandRetry struct {
+	block cache.Addr
+	pc    uint64
+}
+
 // hierarchy is the two-level cache hierarchy plus prefetcher, FDP engine,
-// queues and DRAM of the baseline processor. The CPU calls Access; the
-// runner calls Tick once per cycle before the CPU ticks.
+// queues and DRAM of the baseline processor. CPUs attach via attach (or
+// addClient) and submit accesses through Access/Fetch; the runner calls
+// Tick once per cycle before the CPUs tick. All per-access bookkeeping —
+// completion continuations, miss merging, queue entries, DRAM requests,
+// the prefetcher notification — is drawn from pools and scratch owned
+// here, so the steady-state simulation loop performs no heap allocation.
 type hierarchy struct {
 	cfg      *Config
 	cyc      uint64
@@ -37,18 +60,33 @@ type hierarchy struct {
 	pf       prefetch.Prefetcher
 	fdp      *core.FDP
 	pc       *cache.Cache // optional prefetch cache
+	pool     *eventPool
 	wh       *wheel
 
-	l1Misses map[cache.Addr]*l1Miss
+	clients []memClient
 
-	prefQ    []cache.Addr        // Prefetch Request Queue
+	// Outstanding L1 misses: slab + free list, addressed by block.
+	l1Misses map[cache.Addr]int32
+	missSlab []l1Miss
+	missFree []int32
+
+	prefQ    ring[cache.Addr]    // Prefetch Request Queue
 	prefQSet map[cache.Addr]bool // membership filter for the queue
 
 	// pendingDemand holds demand L2 accesses stalled on a full MSHR file
 	// or bus queue; retried in order each cycle.
-	pendingDemand []func() bool
+	pendingDemand ring[demandRetry]
 	// pendingWB holds writebacks stalled on a full writeback queue.
-	pendingWB []cache.Addr
+	pendingWB ring[cache.Addr]
+
+	// onFillFn is the one method value handed to every DRAM read request
+	// (binding it per request would allocate).
+	onFillFn func(*mem.Request)
+
+	// pfEv and pfOut are the reusable prefetcher-notification event and
+	// output scratch; see prefetch.Prefetcher's Observe contract.
+	pfEv  prefetch.Event
+	pfOut []uint64
 }
 
 func newHierarchy(cfg *Config, ctr *stats.Counters) *hierarchy {
@@ -62,6 +100,7 @@ func newHierarchy(cfg *Config, ctr *stats.Counters) *hierarchy {
 // owned DRAM (multi-core mode). The caller ticks the DRAM and dispatches
 // its OnStart events to the owning core's onBusStart.
 func newHierarchyShared(cfg *Config, ctr *stats.Counters, dram *mem.DRAM, coreID int) *hierarchy {
+	pool := newEventPool(1024)
 	h := &hierarchy{
 		cfg:      cfg,
 		ctr:      ctr,
@@ -71,10 +110,14 @@ func newHierarchyShared(cfg *Config, ctr *stats.Counters, dram *mem.DRAM, coreID
 		l2:       cache.New("L2", cfg.L2Blocks, cfg.L2Ways),
 		mshr:     cache.NewMSHRFile(cfg.MSHRs),
 		dram:     dram,
-		wh:       newWheel(4096),
-		l1Misses: make(map[cache.Addr]*l1Miss),
+		pool:     pool,
+		wh:       newWheel(4096, pool),
+		l1Misses: make(map[cache.Addr]int32),
 		prefQSet: make(map[cache.Addr]bool),
+		pfOut:    make([]uint64, 0, 64),
 	}
+	h.wh.run = h.runEvent
+	h.onFillFn = h.onFill
 	h.fdp = core.New(cfg.FDP)
 	h.pf = buildPrefetcher(cfg)
 	if h.pf != nil {
@@ -127,6 +170,51 @@ func buildPrefetcher(cfg *Config) prefetch.Prefetcher {
 	}
 }
 
+// addClient registers a completion-event consumer, returning its id.
+func (h *hierarchy) addClient(c memClient) int32 {
+	h.clients = append(h.clients, c)
+	return int32(len(h.clients) - 1)
+}
+
+// attach builds a CPU wired to this hierarchy as a new client. The client
+// id is bound into the per-CPU access/fetch closures here, once at setup —
+// the hot path passes only scalars.
+func (h *hierarchy) attach(cfg *Config, src cpu.Source) *cpu.CPU {
+	id := int32(len(h.clients))
+	h.clients = append(h.clients, nil)
+	c := cpu.New(cfg.CPU, src, func(addr, pc uint64, store bool, robIdx int32, seq uint64) {
+		h.Access(id, addr, pc, store, robIdx, seq)
+	})
+	if cfg.ModelIFetch {
+		c.SetFetch(func(pc uint64) bool { return h.Fetch(id, pc) })
+	}
+	h.clients[id] = c
+	return c
+}
+
+// runEvent dispatches one fired event (the wheel's run hook).
+func (h *hierarchy) runEvent(ev event) {
+	switch ev.kind {
+	case evLoadDone:
+		h.clients[ev.client].CompleteLoad(ev.idx, ev.arg)
+	case evFetchDone:
+		h.clients[ev.client].CompleteFetch()
+	case evFillL1:
+		h.fillL1(ev.arg)
+	}
+}
+
+// allocMiss returns a free l1Miss slab index (growing the slab cold).
+func (h *hierarchy) allocMiss() int32 {
+	if n := len(h.missFree); n > 0 {
+		mi := h.missFree[n-1]
+		h.missFree = h.missFree[:n-1]
+		return mi
+	}
+	h.missSlab = append(h.missSlab, l1Miss{})
+	return int32(len(h.missSlab) - 1)
+}
+
 // Tick advances the memory system one cycle. In multi-core mode the
 // shared DRAM is ticked once by the runner, not per hierarchy.
 func (h *hierarchy) Tick(cycle uint64) {
@@ -139,76 +227,94 @@ func (h *hierarchy) Tick(cycle uint64) {
 	h.drainPrefetchQueue()
 }
 
-// Access is the cpu.MemFunc entry point. done may be nil (stores).
-func (h *hierarchy) Access(addr, pc uint64, store bool, done func()) {
+// Access submits a memory access from the given client. Loads (robIdx >=
+// 0) complete via the client's CompleteLoad once the data is available —
+// never synchronously; stores pass robIdx < 0 and need no completion.
+func (h *hierarchy) Access(client int32, addr, pc uint64, store bool, robIdx int32, seq uint64) {
 	block := addr >> h.cfg.BlockShift
 	h.ctr.L1Accesses++
 	if b := h.l1.Access(block); b != nil {
 		if store {
 			b.Dirty = true
 		}
-		if done != nil {
-			h.wh.schedule(h.cfg.L1Latency, done)
+		if robIdx >= 0 {
+			h.wh.schedule(h.cfg.L1Latency, h.pool.alloc(evLoadDone, client, robIdx, seq))
 		}
 		return
 	}
 	h.ctr.L1Misses++
-	if m, ok := h.l1Misses[block]; ok {
+	if mi, ok := h.l1Misses[block]; ok {
+		m := &h.missSlab[mi]
 		m.anyStore = m.anyStore || store
-		if done != nil {
-			m.waiters = append(m.waiters, done)
+		if robIdx >= 0 {
+			m.waiters.push(h.pool, h.pool.alloc(evLoadDone, client, robIdx, seq))
 		}
 		return
 	}
-	m := &l1Miss{anyStore: store, wantData: true}
-	if done != nil {
-		m.waiters = append(m.waiters, done)
+	mi := h.allocMiss()
+	m := &h.missSlab[mi]
+	*m = l1Miss{anyStore: store, wantData: true, waiters: newEvList(), fetchWaiters: newEvList()}
+	if robIdx >= 0 {
+		m.waiters.push(h.pool, h.pool.alloc(evLoadDone, client, robIdx, seq))
 	}
-	h.l1Misses[block] = m
+	h.l1Misses[block] = mi
 	h.l2Demand(block, pc)
 }
 
-// Fetch is the cpu.FetchFunc entry point: it returns true on an L1I hit;
-// on a miss the block is requested through the unified L2 and done fires
+// Fetch asks for the instruction block containing pc on behalf of the
+// given client: it returns true on an L1I hit; on a miss the block is
+// requested through the unified L2 and the client's CompleteFetch fires
 // when it arrives.
-func (h *hierarchy) Fetch(pc uint64, done func()) bool {
+func (h *hierarchy) Fetch(client int32, pc uint64) bool {
 	block := pc >> h.cfg.BlockShift
 	h.ctr.IFetchBlocks++
 	if h.l1i.Access(block) != nil {
 		return true
 	}
 	h.ctr.IFetchL1Misses++
-	if m, ok := h.l1Misses[block]; ok {
+	if mi, ok := h.l1Misses[block]; ok {
+		m := &h.missSlab[mi]
 		m.wantFetch = true
-		m.fetchWaiters = append(m.fetchWaiters, done)
+		m.fetchWaiters.push(h.pool, h.pool.alloc(evFetchDone, client, 0, 0))
 		return false
 	}
-	m := &l1Miss{wantFetch: true, fetchWaiters: []func(){done}}
-	h.l1Misses[block] = m
+	mi := h.allocMiss()
+	m := &h.missSlab[mi]
+	*m = l1Miss{wantFetch: true, waiters: newEvList(), fetchWaiters: newEvList()}
+	m.fetchWaiters.push(h.pool, h.pool.alloc(evFetchDone, client, 0, 0))
+	h.l1Misses[block] = mi
 	h.l2Demand(block, 0)
 	return false
 }
 
 // fillL1 completes an outstanding L1 miss: the block is inserted into the
-// L1 and every merged requester resumes after the L1 latency.
+// L1 and every merged requester's waiter node re-schedules onto the wheel
+// (no copy — the nodes move from the waiter list into a bucket) to fire
+// after the L1 latency.
 func (h *hierarchy) fillL1(block cache.Addr) {
-	m, ok := h.l1Misses[block]
+	mi, ok := h.l1Misses[block]
 	if !ok {
 		return
 	}
 	delete(h.l1Misses, block)
+	m := &h.missSlab[mi]
 	if m.wantData {
 		h.l1.Insert(block, cache.PosMRU, false, m.anyStore)
 	}
 	if m.wantFetch && h.l1i != nil {
 		h.l1i.Insert(block, cache.PosMRU, false, false)
 	}
-	for _, w := range m.waiters {
-		h.wh.schedule(h.cfg.L1Latency, w)
+	for id := m.waiters.take(); id != nilEvent; {
+		next := h.pool.at(id).next
+		h.wh.schedule(h.cfg.L1Latency, id)
+		id = next
 	}
-	for _, w := range m.fetchWaiters {
-		h.wh.schedule(h.cfg.L1Latency, w)
+	for id := m.fetchWaiters.take(); id != nilEvent; {
+		next := h.pool.at(id).next
+		h.wh.schedule(h.cfg.L1Latency, id)
+		id = next
 	}
+	h.missFree = append(h.missFree, mi)
 }
 
 // l2Demand performs (or re-attempts) a demand access at the L2. When
@@ -216,24 +322,25 @@ func (h *hierarchy) fillL1(block cache.Addr) {
 // is replayed in order.
 func (h *hierarchy) l2Demand(block cache.Addr, pc uint64) {
 	if !h.tryL2Demand(block, pc) {
-		h.pendingDemand = append(h.pendingDemand, func() bool { return h.tryL2Demand(block, pc) })
+		h.pendingDemand.push(demandRetry{block: block, pc: pc})
 	}
 }
 
 func (h *hierarchy) tryL2Demand(block cache.Addr, pc uint64) bool {
-	ev := prefetch.Event{Block: block, PC: pc}
+	h.pfEv = prefetch.Event{Block: block, PC: pc}
 	switch {
-	case h.lookupL2Hit(block, &ev):
+	case h.lookupL2Hit(block):
 		// handled: fill scheduled
 	case h.lookupPrefCache(block):
 		// handled: migrated from the prefetch cache
 	default:
-		if !h.l2Miss(block, &ev) {
+		if !h.l2Miss(block) {
 			return false // resource stall: retry without training the prefetcher
 		}
 	}
 	if h.pf != nil {
-		for _, p := range h.pf.Observe(ev) {
+		h.pfOut = h.pf.Observe(&h.pfEv, h.pfOut[:0])
+		for _, p := range h.pfOut {
 			h.enqueuePrefetch(p)
 		}
 	}
@@ -241,7 +348,7 @@ func (h *hierarchy) tryL2Demand(block cache.Addr, pc uint64) bool {
 }
 
 // lookupL2Hit services a demand hit in the L2.
-func (h *hierarchy) lookupL2Hit(block cache.Addr, ev *prefetch.Event) bool {
+func (h *hierarchy) lookupL2Hit(block cache.Addr) bool {
 	h.ctr.L2DemandAccesses++
 	b := h.l2.Access(block)
 	if b == nil {
@@ -253,9 +360,9 @@ func (h *hierarchy) lookupL2Hit(block cache.Addr, ev *prefetch.Event) bool {
 		b.Pref = false
 		h.ctr.PrefUsed++
 		h.fdp.OnPrefetchUsed()
-		ev.PrefHit = true
+		h.pfEv.PrefHit = true
 	}
-	h.wh.schedule(h.cfg.L2Latency, func() { h.fillL1(block) })
+	h.wh.schedule(h.cfg.L2Latency, h.pool.alloc(evFillL1, 0, 0, block))
 	return true
 }
 
@@ -273,14 +380,19 @@ func (h *hierarchy) lookupPrefCache(block cache.Addr) bool {
 	h.ctr.PrefUsed++
 	h.fdp.OnPrefetchUsed()
 	h.l2.Insert(block, cache.PosMRU, false, false)
-	h.wh.schedule(h.cfg.L2Latency, func() { h.fillL1(block) })
+	h.wh.schedule(h.cfg.L2Latency, h.pool.alloc(evFillL1, 0, 0, block))
 	return true
 }
 
 // l2Miss handles a demand L2 miss: merge into an in-flight request (late
 // prefetch detection) or allocate an MSHR and go to memory. Returns false
 // when MSHRs or the demand queue are exhausted.
-func (h *hierarchy) l2Miss(block cache.Addr, ev *prefetch.Event) bool {
+//
+// An MSHR entry needs no waiter list: same-block demands merge in the
+// l1Misses table before reaching the L2, so the only continuation a fill
+// can owe is a single fillL1 — recorded by the DemandMerged bit and
+// scheduled by onFill.
+func (h *hierarchy) l2Miss(block cache.Addr) bool {
 	if e := h.mshr.Lookup(block); e != nil {
 		h.ctr.L2DemandAccesses++
 		h.ctr.L2DemandMisses++
@@ -288,7 +400,7 @@ func (h *hierarchy) l2Miss(block cache.Addr, ev *prefetch.Event) bool {
 		if h.fdp.OnDemandMiss(block) {
 			h.ctr.PollutionHits++
 		}
-		ev.Miss = true
+		h.pfEv.Miss = true
 		if e.Pref {
 			// Demand hit an in-flight prefetch: the prefetch is late.
 			e.Pref = false
@@ -298,7 +410,6 @@ func (h *hierarchy) l2Miss(block cache.Addr, ev *prefetch.Event) bool {
 			h.dram.Promote(block)
 		}
 		e.DemandMerged = true
-		e.Waiters = append(e.Waiters, func() { h.fillL1(block) })
 		return true
 	}
 	if h.mshr.Full() || !h.dram.CanEnqueue(mem.Demand) {
@@ -310,12 +421,13 @@ func (h *hierarchy) l2Miss(block cache.Addr, ev *prefetch.Event) bool {
 	if h.fdp.OnDemandMiss(block) {
 		h.ctr.PollutionHits++
 	}
-	ev.Miss = true
+	h.pfEv.Miss = true
 	e := h.mshr.Allocate(block, false, h.cyc)
 	e.DemandMerged = true
-	e.Waiters = append(e.Waiters, func() { h.fillL1(block) })
 	e.Issued = true
-	h.dram.Enqueue(&mem.Request{Block: block, Kind: mem.Demand, Owner: h.coreID, Done: h.onFill}, h.cyc)
+	r := h.dram.Acquire()
+	r.Block, r.Kind, r.Owner, r.Done = block, mem.Demand, h.coreID, h.onFillFn
+	h.dram.Enqueue(r, h.cyc)
 	return true
 }
 
@@ -331,11 +443,11 @@ func (h *hierarchy) enqueuePrefetch(block cache.Addr) {
 		h.ctr.PrefDropped++
 		return
 	}
-	if len(h.prefQ) >= h.cfg.PrefQueueCap {
+	if h.prefQ.len() >= h.cfg.PrefQueueCap {
 		h.ctr.PrefDropped++
 		return
 	}
-	h.prefQ = append(h.prefQ, block)
+	h.prefQ.push(block)
 	h.prefQSet[block] = true
 }
 
@@ -343,10 +455,10 @@ func (h *hierarchy) enqueuePrefetch(block cache.Addr) {
 // Queue into the memory system, filtering ones that are already resident
 // or in flight. Prefetches enter the bus queue at the lowest priority.
 func (h *hierarchy) drainPrefetchQueue() {
-	for k := 0; k < h.cfg.PrefDrainPerTick && len(h.prefQ) > 0; k++ {
-		block := h.prefQ[0]
+	for k := 0; k < h.cfg.PrefDrainPerTick && h.prefQ.len() > 0; k++ {
+		block := h.prefQ.peek()
 		if h.l2.Contains(block) || (h.pc != nil && h.pc.Contains(block)) || h.mshr.Lookup(block) != nil {
-			h.prefQ = h.prefQ[1:]
+			h.prefQ.pop()
 			delete(h.prefQSet, block)
 			h.ctr.PrefDropped++
 			continue
@@ -354,21 +466,26 @@ func (h *hierarchy) drainPrefetchQueue() {
 		if h.mshr.Full() || !h.dram.CanEnqueue(mem.Prefetch) {
 			return
 		}
-		h.prefQ = h.prefQ[1:]
+		h.prefQ.pop()
 		delete(h.prefQSet, block)
 		e := h.mshr.Allocate(block, true, h.cyc)
 		e.Issued = true
-		h.dram.Enqueue(&mem.Request{Block: block, Kind: mem.Prefetch, Owner: h.coreID, WasPrefetch: true, Done: h.onFill}, h.cyc)
+		r := h.dram.Acquire()
+		r.Block, r.Kind, r.Owner, r.WasPrefetch, r.Done = block, mem.Prefetch, h.coreID, true, h.onFillFn
+		h.dram.Enqueue(r, h.cyc)
 	}
 }
 
 // onFill receives a completed memory read: release the MSHR, insert the
 // block (into the prefetch cache for prefetches when one is configured,
 // otherwise into the L2 at the policy-selected stack position), and wake
-// merged demand requests.
+// the merged demand — one evFillL1 a cycle later — when there is one.
 func (h *hierarchy) onFill(r *mem.Request) {
-	e := h.mshr.Release(r.Block)
-	stillPref := e != nil && e.Pref
+	var stillPref, demandMerged bool
+	if e := h.mshr.Release(r.Block); e != nil {
+		stillPref = e.Pref
+		demandMerged = e.DemandMerged
+	}
 	if stillPref && h.pc != nil {
 		h.pc.Insert(r.Block, cache.PosMRU, true, false)
 		h.ctr.PrefetchFilled++
@@ -386,10 +503,8 @@ func (h *hierarchy) onFill(r *mem.Request) {
 		h.fdp.OnPrefetchFill(r.Block)
 	}
 	h.l2.Insert(r.Block, pos, stillPref, false)
-	if e != nil {
-		for _, w := range e.Waiters {
-			h.wh.schedule(1, w)
-		}
+	if demandMerged {
+		h.wh.schedule(1, h.pool.alloc(evFillL1, 0, 0, r.Block))
 	}
 }
 
@@ -421,8 +536,10 @@ func (h *hierarchy) onL2Evict(ev cache.Evicted) {
 }
 
 func (h *hierarchy) writeback(block cache.Addr) {
-	if !h.dram.Enqueue(&mem.Request{Block: block, Kind: mem.Writeback, Owner: h.coreID}, h.cyc) {
-		h.pendingWB = append(h.pendingWB, block)
+	r := h.dram.Acquire()
+	r.Block, r.Kind, r.Owner = block, mem.Writeback, h.coreID
+	if !h.dram.Enqueue(r, h.cyc) {
+		h.pendingWB.push(block)
 	}
 }
 
@@ -443,22 +560,25 @@ func (h *hierarchy) onBusStart(r *mem.Request) {
 
 // retryPending replays structural-stall victims in arrival order.
 func (h *hierarchy) retryPending() {
-	for len(h.pendingWB) > 0 {
-		if !h.dram.Enqueue(&mem.Request{Block: h.pendingWB[0], Kind: mem.Writeback, Owner: h.coreID}, h.cyc) {
+	for h.pendingWB.len() > 0 {
+		r := h.dram.Acquire()
+		r.Block, r.Kind, r.Owner = h.pendingWB.peek(), mem.Writeback, h.coreID
+		if !h.dram.Enqueue(r, h.cyc) {
 			break
 		}
-		h.pendingWB = h.pendingWB[1:]
+		h.pendingWB.pop()
 	}
-	for tries := 0; tries < 8 && len(h.pendingDemand) > 0; tries++ {
-		if !h.pendingDemand[0]() {
+	for tries := 0; tries < 8 && h.pendingDemand.len() > 0; tries++ {
+		d := h.pendingDemand.peek()
+		if !h.tryL2Demand(d.block, d.pc) {
 			break
 		}
-		h.pendingDemand = h.pendingDemand[1:]
+		h.pendingDemand.pop()
 	}
 }
 
 // Quiesced reports whether no memory-system work remains in flight.
 func (h *hierarchy) Quiesced() bool {
 	return !h.dram.Busy() && h.mshr.Used() == 0 &&
-		len(h.pendingDemand) == 0 && len(h.prefQ) == 0 && len(h.pendingWB) == 0
+		h.pendingDemand.len() == 0 && h.prefQ.len() == 0 && h.pendingWB.len() == 0
 }

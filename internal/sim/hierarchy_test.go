@@ -8,11 +8,16 @@ import (
 	"fdpsim/internal/stats"
 )
 
-// rig wires a hierarchy with manual clock control for white-box tests.
+// rig wires a hierarchy with manual clock control for white-box tests. It
+// registers itself as the hierarchy's client, tracking load completions by
+// sequence number.
 type rig struct {
-	h   *hierarchy
-	ctr *stats.Counters
-	cyc uint64
+	h    *hierarchy
+	ctr  *stats.Counters
+	cyc  uint64
+	id   int32
+	seq  uint64
+	done map[uint64]*bool
 }
 
 func newRig(mutate func(*Config)) *rig {
@@ -22,8 +27,20 @@ func newRig(mutate func(*Config)) *rig {
 		mutate(&cfg)
 	}
 	ctr := &stats.Counters{}
-	return &rig{h: newHierarchy(&cfg, ctr), ctr: ctr}
+	r := &rig{h: newHierarchy(&cfg, ctr), ctr: ctr, done: map[uint64]*bool{}}
+	r.id = r.h.addClient(r)
+	return r
 }
+
+// CompleteLoad implements memClient.
+func (r *rig) CompleteLoad(robIdx int32, seq uint64) {
+	if d, ok := r.done[seq]; ok {
+		*d = true
+	}
+}
+
+// CompleteFetch implements memClient.
+func (r *rig) CompleteFetch() {}
 
 // step advances n cycles.
 func (r *rig) step(n int) {
@@ -37,7 +54,9 @@ func (r *rig) step(n int) {
 // flips when the data arrives.
 func (r *rig) load(addr uint64) *bool {
 	done := new(bool)
-	r.h.Access(addr, 0x400000, false, func() { *done = true })
+	r.seq++
+	r.done[r.seq] = done
+	r.h.Access(r.id, addr, 0x400000, false, 0, r.seq)
 	return done
 }
 
@@ -131,12 +150,12 @@ func TestHierarchyPrefetchDedup(t *testing.T) {
 	r.step(1)
 	r.h.enqueuePrefetch(300)
 	r.h.enqueuePrefetch(300) // duplicate in queue
-	if len(r.h.prefQ) != 1 {
-		t.Fatalf("queue holds %d entries, want 1", len(r.h.prefQ))
+	if r.h.prefQ.len() != 1 {
+		t.Fatalf("queue holds %d entries, want 1", r.h.prefQ.len())
 	}
 	r.step(5)
 	r.h.enqueuePrefetch(300) // already in MSHR
-	if len(r.h.prefQ) != 0 {
+	if r.h.prefQ.len() != 0 {
 		t.Fatal("in-flight block re-queued")
 	}
 	r.step(3000)
@@ -155,7 +174,7 @@ func TestHierarchyStoreDirtiesAndWritesBack(t *testing.T) {
 		c.L2Ways = 2
 	})
 	r.step(1)
-	r.h.Access(0, 1, true, nil) // store to block 0
+	r.h.Access(r.id, 0, 1, true, -1, 0) // store to block 0
 	r.step(3000)
 	// Evict block 0 from L1 by filling its set (set count = 4).
 	for i := uint64(1); i <= 2; i++ {
@@ -239,9 +258,9 @@ type recordingPrefetcher struct {
 func (p *recordingPrefetcher) Name() string       { return "recorder" }
 func (p *recordingPrefetcher) SetLevel(level int) { p.level = level }
 func (p *recordingPrefetcher) Level() int         { return p.level }
-func (p *recordingPrefetcher) Observe(ev prefetch.Event) []uint64 {
-	*p.sink = append(*p.sink, ev)
-	return nil
+func (p *recordingPrefetcher) Observe(ev *prefetch.Event, out []uint64) []uint64 {
+	*p.sink = append(*p.sink, *ev)
+	return out
 }
 
 func TestHierarchyPrefetchCacheMigration(t *testing.T) {

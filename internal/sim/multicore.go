@@ -104,10 +104,7 @@ func RunMultiContext(ctx context.Context, mc MultiConfig) (MultiResult, error) {
 		// Give each core a private address space so co-running workloads
 		// interact only through shared-resource contention.
 		spaced := &offsetSource{src: src, base: uint64(i) << 44}
-		st.cpu = cpu.New(cfg.CPU, spaced, st.h.Access)
-		if cfg.ModelIFetch {
-			st.cpu.SetFetch(st.h.Fetch)
-		}
+		st.cpu = st.h.attach(&cfg, spaced)
 		cores[i] = st
 		if progress, tracer := cfg.Progress, cfg.Tracer; progress != nil || tracer != nil {
 			st := st

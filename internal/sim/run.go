@@ -98,10 +98,7 @@ func runWith(ctx context.Context, cfg Config, src cpu.Source) (Result, error) {
 	var ctr stats.Counters
 	h := newHierarchy(&cfg, &ctr)
 	h.fdp.KeepHistory = cfg.KeepFDPHistory
-	c := cpu.New(cfg.CPU, src, h.Access)
-	if cfg.ModelIFetch {
-		c.SetFetch(h.Fetch)
-	}
+	c := h.attach(&cfg, src)
 
 	maxCycles := cfg.MaxCycles
 	if maxCycles == 0 {

@@ -149,10 +149,7 @@ func RunSMTContext(ctx context.Context, cfg SMTConfig) (SMTResult, error) {
 		// code addresses so co-running workloads contend for cache *space*
 		// rather than aliasing each other's lines.
 		spaced := &offsetSource{src: src, base: uint64(i) << 44}
-		th := &thread{c: cpu.New(base.CPU, spaced, h.Access)}
-		if base.ModelIFetch {
-			th.c.SetFetch(h.Fetch)
-		}
+		th := &thread{c: h.attach(&base, spaced)}
 		threads[i] = th
 		res.Threads = append(res.Threads, ThreadResult{Workload: w})
 	}
