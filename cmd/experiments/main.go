@@ -91,8 +91,14 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "persist results in this content-addressed store; repeat runs are served from disk")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a post-run heap profile to this file")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		cli.PrintVersion("experiments")
+		return
+	}
 
 	if *list {
 		cli.Listing(func(w io.Writer) {

@@ -101,10 +101,17 @@ func main() {
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; bind to loopback)")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		cli.PrintVersion("fdpserved")
+		return
+	}
+
 	logger := newLogger(*logFormat, *logLevel)
+	logger.Info("starting", "version", cli.Version("fdpserved"))
 
 	cfg := service.Config{
 		Workers:    *workers,

@@ -42,6 +42,7 @@ import (
 	"fdpsim/internal/cli"
 	"fdpsim/internal/obs"
 	"fdpsim/internal/prefetch"
+	"fdpsim/internal/stats"
 )
 
 const tool = "fdpsim"
@@ -85,6 +86,28 @@ func openTrace(cfg *fdpsim.Config, path, format string) func() {
 		cli.FatalIf(tool, f.Close())
 		fmt.Fprintf(os.Stderr, "fdpsim: decision trace written to %s (%s)\n", path, format)
 	}
+}
+
+// printAttribution renders the -attr report section: where the cycles
+// went (top-down), where the bus went (per-kind occupancy), how hard the
+// memory system was pressed, and how timely the prefetches were.
+func printAttribution(a *stats.Attribution) {
+	total := a.Cycles.Total()
+	if total == 0 {
+		return
+	}
+	pct := func(v uint64) float64 { return 100 * float64(v) / float64(total) }
+	c := a.Cycles
+	fmt.Printf("cycles     : retire-full %.1f%%  retire-partial %.1f%%  load-miss %.1f%%  rob-full %.1f%%  dram-bp %.1f%%  ifetch %.1f%%  frontend %.1f%%\n",
+		pct(c.RetireFull), pct(c.RetirePartial), pct(c.StallLoadMiss),
+		pct(c.StallROBFull), pct(c.StallDRAMBP), pct(c.StallIFetch), pct(c.StallFrontend))
+	fmt.Printf("bus        : utilization %.1f%% (demand %.1f%% + prefetch %.1f%% + writeback %.1f%%)  row-hit %.1f%%\n",
+		100*a.BusUtilization(), pct(a.BusDemandCycles), pct(a.BusPrefetchCycles),
+		pct(a.BusWritebackCycles), 100*a.RowHitRate())
+	fmt.Printf("pressure   : MSHR occupancy mean %.1f  DRAM queues mean d=%.1f p=%.1f wb=%.1f\n",
+		a.MSHROcc.Mean(), a.QueueDemand.Mean(), a.QueuePrefetch.Mean(), a.QueueWriteback.Mean())
+	fmt.Printf("timeliness : fill-to-use p50=%d p90=%d cycles  late-by p50=%d cycles  unused prefetches=%d\n",
+		a.FillToUse.Quantile(0.5), a.FillToUse.Quantile(0.9), a.LateBy.Quantile(0.5), a.PrefUnused)
 }
 
 // progressLine prints one FDP sampling interval to stderr.
@@ -169,8 +192,15 @@ func main() {
 		traceFormat  = flag.String("trace-format", "jsonl", "decision trace format: jsonl or chrome (Perfetto-loadable)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProfile   = flag.String("memprofile", "", "write a post-run heap profile to this file")
+		attr         = flag.Bool("attr", false, "enable cycle accounting & bandwidth attribution (stall/bus breakdown in the report, per-interval samples in traces)")
+		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		cli.PrintVersion(tool)
+		return
+	}
 
 	if *list {
 		cli.Listing(func(w io.Writer) {
@@ -228,6 +258,9 @@ func main() {
 			// runtime failure: exit 2 like any other invalid configuration.
 			cli.Fatalf(tool, cli.ExitUsage, "parsing %s: %v", *configPath, err)
 		}
+	}
+	if *attr {
+		cfg.Attribution = true
 	}
 	if *dumpConfig {
 		enc := json.NewEncoder(os.Stdout)
@@ -295,6 +328,9 @@ func main() {
 		fmt.Printf("intervals  : %d   final level: %d (%s)\n",
 			res.Intervals, res.FinalLevel, prefetch.LevelName(res.FinalLevel))
 		fmt.Printf("%s\n%s\n", res.LevelDist, res.InsertDist)
+	}
+	if res.Attribution != nil {
+		printAttribution(res.Attribution)
 	}
 	if *verbose {
 		c := res.Counters

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fdpsim"
+	"fdpsim/internal/stats"
+)
+
+// frame is one dashboard update — the common shape both sources map to:
+// an SSE "progress" Snapshot from fdpserved, or one DecisionEvent from a
+// replayed JSONL decision trace.
+type frame struct {
+	Core     int
+	Interval uint64
+	Cycle    uint64
+	Retired  uint64
+	IPC      float64
+	// BPKI is only carried by live Snapshots; replayed decision events
+	// don't record bus accesses, so HasBPKI gates the header cell.
+	BPKI    float64
+	HasBPKI bool
+
+	Accuracy  float64
+	Lateness  float64
+	Pollution float64
+	Level     int
+	Insertion string
+
+	Sample stats.IntervalSample
+	Final  bool
+}
+
+func frameFromSnapshot(s fdpsim.Snapshot) frame {
+	return frame{
+		Core:      s.Core,
+		Interval:  s.Interval,
+		Cycle:     s.Cycle,
+		Retired:   s.Retired,
+		IPC:       s.IPC,
+		BPKI:      s.BPKI,
+		HasBPKI:   true,
+		Accuracy:  s.Accuracy,
+		Lateness:  s.Lateness,
+		Pollution: s.Pollution,
+		Level:     s.Level,
+		Insertion: s.Insertion.String(),
+		Sample:    s.Sample,
+		Final:     s.Final,
+	}
+}
+
+func frameFromEvent(ev fdpsim.DecisionEvent) frame {
+	f := frame{
+		Core:      ev.Core,
+		Interval:  ev.Interval,
+		Cycle:     ev.Cycle,
+		Retired:   ev.Retired,
+		Accuracy:  ev.Accuracy,
+		Lateness:  ev.Lateness,
+		Pollution: ev.Pollution,
+		Level:     levelFromParams(ev),
+		Insertion: ev.Insertion,
+		Sample:    ev.Sample,
+	}
+	if ev.Cycle > 0 {
+		f.IPC = float64(ev.Retired) / float64(ev.Cycle)
+	}
+	return f
+}
+
+// levelFromParams recovers the aggressiveness level from the event's DCC
+// (the counter value after the boundary's update IS the level).
+func levelFromParams(ev fdpsim.DecisionEvent) int { return ev.DCCAfter }
+
+// sparkWidth is how many interval IPC values the sparkline keeps.
+const sparkWidth = 48
+
+// dash accumulates frames and renders the dashboard. All state is plain
+// values; rendering writes to an io.Writer so tests can capture frames.
+type dash struct {
+	source string // "job 3f2c… @ host:port" or "replay trace.jsonl"
+	last   frame
+	ipcs   []float64 // trailing per-interval IPC history for the sparkline
+	frames uint64
+}
+
+func newDash(source string) *dash { return &dash{source: source} }
+
+// observe folds one frame into the dashboard state. A frame without an
+// attribution sample keeps the previous one: the final snapshot closes
+// no interval, and the last interval's breakdown beats an empty pane.
+func (d *dash) observe(f frame) {
+	if f.Sample.Cycles.Total() == 0 && d.last.Sample.Cycles.Total() > 0 {
+		f.Sample = d.last.Sample
+	}
+	d.last = f
+	d.frames++
+	if f.IPC > 0 {
+		d.ipcs = append(d.ipcs, f.IPC)
+		if len(d.ipcs) > sparkWidth {
+			d.ipcs = d.ipcs[len(d.ipcs)-sparkWidth:]
+		}
+	}
+}
+
+// render writes one full dashboard frame.
+func (d *dash) render(w io.Writer) {
+	f := d.last
+	state := "running"
+	if f.Final {
+		state = "done"
+	}
+	fmt.Fprintf(w, "fdptop — %s  [%s]\n", d.source, state)
+	fmt.Fprintf(w, "interval %-6d cycle %-12d retired %-12d IPC %6.3f  %s\n",
+		f.Interval, f.Cycle, f.Retired, f.IPC, bpkiCell(f))
+	fmt.Fprintf(w, "ipc   %s\n", sparkline(d.ipcs))
+	d.renderStalls(w, f.Sample.Cycles)
+	d.renderBus(w, f)
+	fmt.Fprintf(w, "fdp   acc %3.0f%%  late %3.0f%%  poll %3.0f%%  level %d  insert %s\n",
+		100*f.Accuracy, 100*f.Lateness, 100*f.Pollution, f.Level, f.Insertion)
+}
+
+func bpkiCell(f frame) string {
+	if !f.HasBPKI {
+		return "BPKI     -"
+	}
+	return fmt.Sprintf("BPKI %6.2f", f.BPKI)
+}
+
+// renderStalls draws the top-down cycle-accounting pane: one bar per
+// bucket, scaled so the shares sum to 100% of the interval's cycles.
+func (d *dash) renderStalls(w io.Writer, b stats.CycleBuckets) {
+	total := b.Total()
+	if total == 0 {
+		fmt.Fprintf(w, "stall breakdown: no attribution samples (run with attribution enabled)\n")
+		return
+	}
+	fmt.Fprintf(w, "stall breakdown (interval, %d cycles)\n", total)
+	rows := []struct {
+		name string
+		v    uint64
+	}{
+		{"retire full", b.RetireFull},
+		{"retire part", b.RetirePartial},
+		{"load miss", b.StallLoadMiss},
+		{"rob full", b.StallROBFull},
+		{"dram bp", b.StallDRAMBP},
+		{"ifetch", b.StallIFetch},
+		{"frontend", b.StallFrontend},
+	}
+	for _, r := range rows {
+		share := b.Share(r.v)
+		fmt.Fprintf(w, "  %-11s %s %5.1f%%\n", r.name, bar(share, 24), 100*share)
+	}
+}
+
+// renderBus draws the memory-pressure pane from the interval sample.
+func (d *dash) renderBus(w io.Writer, f frame) {
+	s := f.Sample
+	total := s.Cycles.Total()
+	if total == 0 {
+		return
+	}
+	ft := float64(total)
+	fmt.Fprintf(w, "bus   util %5.1f%%  demand %4.1f%%  prefetch %4.1f%%  writeback %4.1f%%\n",
+		100*s.BusUtilization,
+		100*float64(s.BusDemandCycles)/ft,
+		100*float64(s.BusPrefetchCycles)/ft,
+		100*float64(s.BusWritebackCycles)/ft)
+	fmt.Fprintf(w, "dram  row-hit %5.1f%%  mshr mean %5.2f  queue mean %5.2f\n",
+		100*f.Sample.RowHitRate(), s.MSHRMean, s.QueueMean)
+}
+
+// bar renders share (0..1) as a fixed-width block bar.
+func bar(share float64, width int) string {
+	if share < 0 {
+		share = 0
+	}
+	if share > 1 {
+		share = 1
+	}
+	n := int(share*float64(width) + 0.5)
+	return strings.Repeat("█", n) + strings.Repeat("░", width-n)
+}
+
+// sparkTicks are the eight block heights of a terminal sparkline.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders the IPC history scaled to its own min..max (a flat
+// history renders mid-height so a steady run doesn't look like zero).
+func sparkline(vs []float64) string {
+	if len(vs) == 0 {
+		return "(no samples yet)"
+	}
+	lo, hi := vs[0], vs[0]
+	for _, v := range vs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vs {
+		i := len(sparkTicks) / 2
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(sparkTicks)-1))
+		}
+		b.WriteRune(sparkTicks[i])
+	}
+	fmt.Fprintf(&b, "  min %.3f max %.3f", lo, hi)
+	return b.String()
+}

@@ -1,0 +1,210 @@
+// Command fdptop is a live terminal dashboard for the simulator's
+// cycle-accounting and bandwidth-attribution telemetry: per-FDP-interval
+// IPC and BPKI, a top-down stall breakdown that always sums to 100% of
+// the interval's cycles, bus utilization split by transaction kind, DRAM
+// row-hit rate, and MSHR/queue pressure.
+//
+// It has two sources and one escape hatch:
+//
+//	fdptop -addr 127.0.0.1:8080 -job 3f2c91ab      attach to a running
+//	                                               fdpserved job over SSE
+//	fdptop -replay trace.jsonl                     replay a decision trace
+//	                                               recorded with -attr
+//	fdptop -replay trace.jsonl -once               render the final frame
+//	                                               and exit (CI, pipes)
+//
+// In a terminal the dashboard redraws in place (ANSI home+clear); when
+// stdout is not a TTY, or with -once, frames print sequentially so the
+// output stays greppable. Stall and bus panes need attribution samples:
+// submit jobs with "attribution": true, or trace with fdpsim -attr.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"fdpsim"
+	"fdpsim/internal/cli"
+	"fdpsim/internal/obs"
+)
+
+const tool = "fdptop"
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "fdpserved address for -job")
+		job     = flag.String("job", "", "fdpserved job ID to attach to over SSE")
+		replay  = flag.String("replay", "", "replay a JSONL decision trace instead of attaching")
+		once    = flag.Bool("once", false, "render a single final frame and exit (no redraw)")
+		rate    = flag.Duration("rate", 40*time.Millisecond, "replay frame delay in TTY mode")
+		version = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		cli.PrintVersion(tool)
+		return
+	}
+
+	switch {
+	case *replay != "":
+		cli.FatalIf(tool, replayTrace(os.Stdout, *replay, *once, *rate))
+	case *job != "":
+		cli.FatalIf(tool, attach(os.Stdout, *addr, *job, *once))
+	default:
+		cli.Fatalf(tool, cli.ExitUsage, "use -job <id> (with -addr) to attach, or -replay <trace.jsonl>")
+	}
+}
+
+// isTTY reports whether w is an interactive terminal — the gate for
+// in-place redraw versus sequential frames.
+func isTTY(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	st, err := f.Stat()
+	return err == nil && st.Mode()&os.ModeCharDevice != 0
+}
+
+// clearScreen is the ANSI home+erase sequence used between TTY frames.
+const clearScreen = "\x1b[H\x1b[2J"
+
+// replayTrace renders a recorded decision trace. With once set, only the
+// cumulative final frame prints; otherwise every interval renders (paced
+// by rate when drawing to a TTY, immediate when piped).
+func replayTrace(w io.Writer, path string, once bool, rate time.Duration) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s: no decision events", path)
+	}
+	d := newDash("replay " + path)
+	tty := isTTY(w)
+	for i, ev := range events {
+		fr := frameFromEvent(ev)
+		fr.Final = i == len(events)-1
+		d.observe(fr)
+		if once {
+			continue
+		}
+		if tty {
+			fmt.Fprint(w, clearScreen)
+		}
+		d.render(w)
+		if !tty {
+			fmt.Fprintln(w)
+		}
+		if tty && rate > 0 {
+			time.Sleep(rate)
+		}
+	}
+	if once {
+		d.render(w)
+	}
+	return nil
+}
+
+// attach subscribes to a job's SSE event stream on fdpserved and renders
+// every "progress" snapshot until the "done" event arrives. With once
+// set, only the final frame (the last state at stream end) prints.
+func attach(w io.Writer, addr, jobID string, once bool) error {
+	url := fmt.Sprintf("http://%s/v1/jobs/%s/events", addr, jobID)
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	d := newDash(fmt.Sprintf("job %s @ %s", jobID, addr))
+	tty := isTTY(w)
+	draw := func() {
+		if once {
+			return
+		}
+		if tty {
+			fmt.Fprint(w, clearScreen)
+		}
+		d.render(w)
+		if !tty {
+			fmt.Fprintln(w)
+		}
+	}
+
+	err = scanSSE(resp.Body, func(event string, data []byte) error {
+		switch event {
+		case "progress":
+			var snap fdpsim.Snapshot
+			if err := json.Unmarshal(data, &snap); err != nil {
+				return fmt.Errorf("progress event: %w", err)
+			}
+			d.observe(frameFromSnapshot(snap))
+			draw()
+		case "done":
+			// The runner's final snapshot (Final=true) usually precedes this
+			// event; redraw only if it didn't arrive, to avoid a duplicate
+			// closing frame.
+			if !d.last.Final {
+				d.last.Final = true
+				draw()
+			}
+			return errDone
+		}
+		return nil
+	})
+	if err != nil && err != errDone {
+		return err
+	}
+	if d.frames == 0 {
+		return fmt.Errorf("job %s produced no progress snapshots (submit with \"progress\" cadence or check the job ID)", jobID)
+	}
+	if once {
+		d.render(w)
+	}
+	return nil
+}
+
+// errDone is scanSSE's internal "stream finished cleanly" sentinel.
+var errDone = fmt.Errorf("done")
+
+// scanSSE parses a Server-Sent-Events stream and calls fn once per
+// complete event. Returning errDone from fn stops the scan cleanly.
+func scanSSE(r io.Reader, fn func(event string, data []byte) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var event string
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case len(line) == 0:
+			if event != "" {
+				if err := fn(event, data); err != nil {
+					return err
+				}
+			}
+			event, data = "", nil
+		case len(line) > 7 && line[:7] == "event: ":
+			event = line[7:]
+		case len(line) > 6 && line[:6] == "data: ":
+			data = append(data, line[6:]...)
+		}
+	}
+	return sc.Err()
+}

@@ -38,8 +38,14 @@ func main() {
 		level        = flag.Int("level", 5, "aggressiveness for -replay")
 		seed         = flag.Uint64("seed", 1, "workload seed")
 		list         = flag.Bool("list", false, "list recordable workloads and replay prefetchers, then exit")
+		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		cli.PrintVersion(tool)
+		return
+	}
 
 	if *list {
 		cli.Listing(func(w io.Writer) {

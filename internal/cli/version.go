@@ -1,0 +1,57 @@
+package cli
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Version returns a one-line build identification for the running binary:
+// module version (or "devel"), VCS revision and dirty state when the
+// binary was built inside a checkout, and the Go toolchain. It reads
+// runtime/debug.ReadBuildInfo, so it is accurate for `go build` and
+// `go install` alike with no ldflags plumbing.
+func Version(tool string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", tool, moduleVersion())
+	if rev, dirty, ok := vcsInfo(); ok {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " (%s", rev)
+		if dirty {
+			b.WriteString("-dirty")
+		}
+		b.WriteString(")")
+	}
+	fmt.Fprintf(&b, " %s %s/%s", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	return b.String()
+}
+
+func moduleVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
+func vcsInfo() (revision string, dirty, ok bool) {
+	bi, found := debug.ReadBuildInfo()
+	if !found {
+		return "", false, false
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision, ok = s.Value, true
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return revision, dirty, ok
+}
+
+// PrintVersion writes the Version line to stdout (the -version flag's
+// action in every CLI).
+func PrintVersion(tool string) { fmt.Println(Version(tool)) }

@@ -8,6 +8,8 @@
 // the ROB/MSHR limits, dependent misses serialize.
 package cpu
 
+import "fdpsim/internal/stats"
+
 // Kind classifies a micro-op.
 type Kind uint8
 
@@ -121,6 +123,13 @@ type CPU struct {
 	fetchStalled   bool
 	stallFetch     uint64 // cycles dispatch was blocked on instruction fetch
 	fetchMissCount uint64
+
+	// Attribution (optional): when attr is non-nil, every Tick classifies
+	// the cycle into exactly one CycleBuckets field. memBP reports whether
+	// the memory system is backpressured (demand requests queued behind a
+	// full MSHR file), splitting load-miss stalls by bottleneck.
+	attr  *stats.CycleBuckets
+	memBP func() bool
 }
 
 // New builds a core over the given micro-op source and memory interface.
@@ -184,11 +193,58 @@ func (c *CPU) StallFetch() uint64 { return c.stallFetch }
 // FetchMisses returns how many instruction blocks stalled dispatch.
 func (c *CPU) FetchMisses() uint64 { return c.fetchMissCount }
 
+// SetAttribution enables top-down cycle accounting: each Tick records the
+// cycle into exactly one bucket of b. backpressured reports whether the
+// memory system is refusing new demand work this cycle (used to split
+// load-miss stalls into a DRAM-backpressure bucket). Purely observational
+// — timing and counters other than b are unaffected. Must be called
+// before the first Tick; pass nil to disable.
+func (c *CPU) SetAttribution(b *stats.CycleBuckets, backpressured func() bool) {
+	c.attr = b
+	c.memBP = backpressured
+}
+
 // Tick advances the core one cycle: retire, issue ready loads, dispatch.
 func (c *CPU) Tick() {
+	if c.attr == nil {
+		c.retire()
+		c.issue()
+		c.dispatch()
+		return
+	}
+	before := c.retired
 	c.retire()
+	c.classify(c.retired - before)
 	c.issue()
 	c.dispatch()
+}
+
+// classify attributes the current cycle to one bucket, given how many ops
+// just retired. Precedence is documented on stats.CycleBuckets. The
+// ROB-occupied cases rely on an invariant of this core: only loads ever
+// sit incomplete in the ROB (nops and stores complete at dispatch), so a
+// non-retiring occupied ROB always means the head is a load awaiting data.
+func (c *CPU) classify(ret uint64) {
+	b := c.attr
+	switch {
+	case ret >= uint64(c.cfg.Width):
+		b.RetireFull++
+	case ret > 0:
+		b.RetirePartial++
+	case c.count > 0:
+		switch {
+		case c.count == len(c.rob):
+			b.StallROBFull++
+		case c.memBP != nil && c.memBP():
+			b.StallDRAMBP++
+		default:
+			b.StallLoadMiss++
+		}
+	case c.fetchStalled:
+		b.StallIFetch++
+	default:
+		b.StallFrontend++
+	}
 }
 
 func (c *CPU) retire() {

@@ -90,6 +90,7 @@ func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
 func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+func u64(v uint64) string  { return fmt.Sprintf("%d", v) }
 
 // deltaPct formats a percent change of next over base.
 func deltaPct(base, next float64) string {

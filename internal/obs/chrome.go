@@ -107,6 +107,38 @@ func (c *Chrome) TraceDecision(ev sim.DecisionEvent) {
 	for _, ct := range counters {
 		c.emit(chromeEvent{Name: ct.track, Ph: "C", Ts: ts, Pid: ev.Core, Args: ct.args})
 	}
+	// Attribution runs add the cycle-accounting and memory-pressure
+	// tracks. A zero sample means attribution was off for this run, and
+	// emitting nothing keeps non-attribution traces unchanged.
+	if s := ev.Sample; s.Cycles.Total() > 0 {
+		total := float64(s.Cycles.Total())
+		pct := func(v uint64) float64 { return 100 * float64(v) / total }
+		attr := []struct {
+			track string
+			args  map[string]any
+		}{
+			{"stall breakdown %", map[string]any{
+				"retire_full":     pct(s.Cycles.RetireFull),
+				"retire_partial":  pct(s.Cycles.RetirePartial),
+				"stall_load_miss": pct(s.Cycles.StallLoadMiss),
+				"stall_rob_full":  pct(s.Cycles.StallROBFull),
+				"stall_dram_bp":   pct(s.Cycles.StallDRAMBP),
+				"stall_ifetch":    pct(s.Cycles.StallIFetch),
+				"stall_frontend":  pct(s.Cycles.StallFrontend),
+			}},
+			{"bus utilization %", map[string]any{"utilization": 100 * s.BusUtilization}},
+			{"bus occupancy cycles", map[string]any{
+				"demand":    s.BusDemandCycles,
+				"prefetch":  s.BusPrefetchCycles,
+				"writeback": s.BusWritebackCycles,
+			}},
+			{"row hit rate %", map[string]any{"row_hit": 100 * s.RowHitRate()}},
+			{"queue depth", map[string]any{"mshr": s.MSHRMean, "dram_queue": s.QueueMean}},
+		}
+		for _, ct := range attr {
+			c.emit(chromeEvent{Name: ct.track, Ph: "C", Ts: ts, Pid: ev.Core, Args: ct.args})
+		}
+	}
 	c.emit(chromeEvent{
 		Name: fmt.Sprintf("case %d: %s", ev.Case, ev.Reason),
 		Ph:   "i", Ts: ts, Pid: ev.Core, S: "p",

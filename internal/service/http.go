@@ -34,6 +34,13 @@ type JobRequest struct {
 	// GET /v1/jobs/{id}/trace once the job is terminal.
 	Trace bool `json:"trace,omitempty"`
 
+	// Attribution enables the cycle-accounting and bandwidth-attribution
+	// layer: the job's Result gains the Attribution block, its SSE
+	// progress events and decision trace carry per-interval stall/bus
+	// samples, and /metrics aggregates the stall and bus-occupancy
+	// counters across attribution jobs.
+	Attribution bool `json:"attribution,omitempty"`
+
 	// Config, when present, is the full simulator configuration and takes
 	// the place of the assembled baseline.
 	Config *sim.Config `json:"config,omitempty"`
@@ -81,6 +88,9 @@ func (r *JobRequest) BuildConfig() sim.Config {
 	}
 	if r.TInterval != 0 {
 		cfg.FDP.TInterval = r.TInterval
+	}
+	if r.Attribution {
+		cfg.Attribution = true
 	}
 	return cfg
 }

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fdpsim/internal/cache"
+	"fdpsim/internal/stats"
 )
 
 // metrics is the service's instrumentation: plain atomics and
@@ -36,9 +38,24 @@ type metrics struct {
 	traceEvents    atomic.Uint64 // decision events captured into job traces
 	traceTruncated atomic.Uint64 // decision events dropped by per-job trace limits
 
+	// Cycle-accounting and bus-occupancy aggregates over attribution jobs
+	// (zero-sample intervals from non-attribution jobs contribute nothing).
+	// Indexed by stallBucketNames / busKindNames order.
+	stallCycles [7]atomic.Uint64
+	busCycles   [3]atomic.Uint64
+
 	queueWait histogram
 	httpDur   histogram
 }
+
+// stallBucketNames labels m.stallCycles in stats.CycleBuckets field order.
+var stallBucketNames = [7]string{
+	"retire_full", "retire_partial", "stall_load_miss",
+	"stall_rob_full", "stall_dram_bp", "stall_ifetch", "stall_frontend",
+}
+
+// busKindNames labels m.busCycles (demand/prefetch/writeback).
+var busKindNames = [3]string{"demand", "prefetch", "writeback"}
 
 // defaultQueueWaitBuckets spans an idle pool (sub-millisecond) to a
 // saturated one (many run-lengths).
@@ -66,6 +83,18 @@ func (m *metrics) observeSnapshot(snap intervalSample) {
 	if p := int(snap.insertion); p >= 0 && p < len(m.insertions) {
 		m.insertions[p].Add(1)
 	}
+	if c := snap.sample.Cycles; c.Total() > 0 {
+		m.stallCycles[0].Add(c.RetireFull)
+		m.stallCycles[1].Add(c.RetirePartial)
+		m.stallCycles[2].Add(c.StallLoadMiss)
+		m.stallCycles[3].Add(c.StallROBFull)
+		m.stallCycles[4].Add(c.StallDRAMBP)
+		m.stallCycles[5].Add(c.StallIFetch)
+		m.stallCycles[6].Add(c.StallFrontend)
+		m.busCycles[0].Add(snap.sample.BusDemandCycles)
+		m.busCycles[1].Add(snap.sample.BusPrefetchCycles)
+		m.busCycles[2].Add(snap.sample.BusWritebackCycles)
+	}
 }
 
 // intervalSample is the slice of a sim.Snapshot the metrics need; a named
@@ -73,6 +102,7 @@ func (m *metrics) observeSnapshot(snap intervalSample) {
 type intervalSample struct {
 	final     bool
 	insertion cache.InsertPos
+	sample    stats.IntervalSample
 }
 
 // histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
@@ -209,6 +239,26 @@ func (m *metrics) render(w io.Writer, queued int, uptime time.Duration, dccLevel
 	counter("traces_collected_total", "Jobs that collected an FDP decision trace.", m.traces.Load())
 	counter("trace_events_total", "Decision events captured into job traces.", m.traceEvents.Load())
 	counter("trace_events_truncated_total", "Decision events dropped by per-job trace limits.", m.traceTruncated.Load())
+
+	fmt.Fprintf(w, "# HELP fdpserved_sim_stall_cycles_total Simulated core cycles by top-down cause, across attribution jobs.\n")
+	fmt.Fprintf(w, "# TYPE fdpserved_sim_stall_cycles_total counter\n")
+	for i, name := range stallBucketNames {
+		fmt.Fprintf(w, "fdpserved_sim_stall_cycles_total{cause=%q} %d\n", name, m.stallCycles[i].Load())
+	}
+	fmt.Fprintf(w, "# HELP fdpserved_sim_bus_cycles_total Simulated data-bus occupancy cycles by transaction kind, across attribution jobs.\n")
+	fmt.Fprintf(w, "# TYPE fdpserved_sim_bus_cycles_total counter\n")
+	for i, name := range busKindNames {
+		fmt.Fprintf(w, "fdpserved_sim_bus_cycles_total{kind=%q} %d\n", name, m.busCycles[i].Load())
+	}
+
+	// Go runtime health, sampled at scrape time.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("go_goroutines", "Number of goroutines.", float64(runtime.NumGoroutine()))
+	gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	gauge("go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", float64(ms.HeapSys))
+	counter("go_gc_cycles_total", "Completed GC cycles.", uint64(ms.NumGC))
+	gauge("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", float64(ms.PauseTotalNs)/1e9)
 
 	renderHistogram(w, &m.queueWait, "queue_wait_seconds", "Time jobs spent waiting for a worker.")
 	renderHistogram(w, &m.httpDur, "http_request_duration_seconds", "HTTP API request handling time (SSE streams count their full attachment).")

@@ -532,7 +532,7 @@ func (s *Server) runJob(job *Job) {
 	}
 	cfg := job.cfg
 	cfg.Progress = func(snap sim.Snapshot) {
-		s.m.observeSnapshot(intervalSample{final: snap.Final, insertion: snap.Insertion})
+		s.m.observeSnapshot(intervalSample{final: snap.Final, insertion: snap.Insertion, sample: snap.Sample})
 		job.publish(snap)
 	}
 	cfg.Tracer = nil

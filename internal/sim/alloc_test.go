@@ -11,7 +11,7 @@ import (
 // newEngine builds a hierarchy+CPU pair over a small, interval-heavy
 // configuration (tiny L2 and TInterval so FDP decisions fire constantly —
 // the hardest case for the allocation guarantee).
-func newEngine(tb testing.TB, wl string, kind PrefetcherKind) (*hierarchy, *cpu.CPU) {
+func newEngine(tb testing.TB, wl string, kind PrefetcherKind, attr bool) (*hierarchy, *cpu.CPU) {
 	tb.Helper()
 	cfg := WithFDP(kind)
 	cfg.Workload = wl
@@ -20,6 +20,7 @@ func newEngine(tb testing.TB, wl string, kind PrefetcherKind) (*hierarchy, *cpu.
 	cfg.MSHRs = 32
 	cfg.PrefQueueCap = 32
 	cfg.FDP.TInterval = 64
+	cfg.Attribution = attr
 	src, err := workload.New(wl, 1)
 	if err != nil {
 		tb.Fatal(err)
@@ -40,15 +41,24 @@ func TestPerInstructionAllocs(t *testing.T) {
 	for _, tc := range []struct {
 		wl   string
 		kind PrefetcherKind
+		attr bool
 	}{
-		{"mixedphase", PrefStream},
-		{"mixedphase", PrefGHB},
-		{"mixedphase", PrefHybrid},
-		{"chaserand", PrefStream},
-		{"scanmod", PrefDahlgren},
+		{"mixedphase", PrefStream, false},
+		{"mixedphase", PrefGHB, false},
+		{"mixedphase", PrefHybrid, false},
+		{"chaserand", PrefStream, false},
+		{"scanmod", PrefDahlgren, false},
+		// Attribution on: per-cycle classification + occupancy sampling and
+		// the timeliness maps must stay allocation-free once warmed.
+		{"mixedphase", PrefStream, true},
+		{"chaserand", PrefStream, true},
 	} {
-		t.Run(tc.wl+"/"+string(tc.kind), func(t *testing.T) {
-			h, c := newEngine(t, tc.wl, tc.kind)
+		name := tc.wl + "/" + string(tc.kind)
+		if tc.attr {
+			name += "/attribution"
+		}
+		t.Run(name, func(t *testing.T) {
+			h, c := newEngine(t, tc.wl, tc.kind, tc.attr)
 			var cycle uint64
 			for cycle < 300_000 {
 				cycle++
@@ -73,19 +83,29 @@ func TestPerInstructionAllocs(t *testing.T) {
 // instruction; allocs/op is the per-instruction allocation count the CI
 // gate keeps at zero.
 func BenchmarkPerInstruction(b *testing.B) {
-	h, c := newEngine(b, "mixedphase", PrefStream)
-	var cycle uint64
-	for cycle < 200_000 {
-		cycle++
-		h.Tick(cycle)
-		c.Tick()
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	start := c.Retired()
-	for c.Retired()-start < uint64(b.N) {
-		cycle++
-		h.Tick(cycle)
-		c.Tick()
+	for _, tc := range []struct {
+		name string
+		attr bool
+	}{
+		{"base", false},
+		{"attribution", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			h, c := newEngine(b, "mixedphase", PrefStream, tc.attr)
+			var cycle uint64
+			for cycle < 200_000 {
+				cycle++
+				h.Tick(cycle)
+				c.Tick()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := c.Retired()
+			for c.Retired()-start < uint64(b.N) {
+				cycle++
+				h.Tick(cycle)
+				c.Tick()
+			}
+		})
 	}
 }

@@ -99,6 +99,14 @@ type Config struct {
 	// decisions in Result.History (for adaptation-timeline analysis).
 	KeepFDPHistory bool
 
+	// Attribution enables the cycle-accounting and bandwidth-attribution
+	// layer: top-down per-cycle stall classification, bus-occupancy and
+	// DRAM-pressure telemetry, and prefetch-timeliness histograms. Results
+	// land in Result.Attribution and in the per-interval Sample of
+	// DecisionEvent/Snapshot. Purely observational — simulation timing and
+	// all other counters are bit-identical with it on or off.
+	Attribution bool
+
 	// Progress, when set, streams one Snapshot per completed FDP sampling
 	// interval plus a Final snapshot at run end to the caller-supplied
 	// sink. Excluded from JSON round-trips (functions do not serialize)

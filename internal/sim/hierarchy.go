@@ -87,6 +87,10 @@ type hierarchy struct {
 	// output scratch; see prefetch.Prefetcher's Observe contract.
 	pfEv  prefetch.Event
 	pfOut []uint64
+
+	// attr holds the cycle-accounting / bandwidth-attribution state when
+	// Config.Attribution is set; nil otherwise (one branch per hook site).
+	attr *attribution
 }
 
 func newHierarchy(cfg *Config, ctr *stats.Counters) *hierarchy {
@@ -133,6 +137,14 @@ func newHierarchyShared(cfg *Config, ctr *stats.Counters, dram *mem.DRAM, coreID
 	}
 	h.l1.OnEvict = h.onL1Evict
 	h.l2.OnEvict = h.onL2Evict
+	if cfg.Attribution {
+		h.attr = newAttribution()
+		if h.pc != nil {
+			// Capacity victims of the prefetch cache are unused prefetches
+			// (demand uses leave via Invalidate, which skips OnEvict).
+			h.pc.OnEvict = func(ev cache.Evicted) { h.attrPrefEvicted(ev.Block.Tag) }
+		}
+	}
 	return h
 }
 
@@ -188,6 +200,9 @@ func (h *hierarchy) attach(cfg *Config, src cpu.Source) *cpu.CPU {
 	if cfg.ModelIFetch {
 		c.SetFetch(func(pc uint64) bool { return h.Fetch(id, pc) })
 	}
+	if h.attr != nil {
+		c.SetAttribution(&h.attr.cpu, h.backpressured)
+	}
 	h.clients[id] = c
 	return c
 }
@@ -225,6 +240,9 @@ func (h *hierarchy) Tick(cycle uint64) {
 	h.wh.tick(cycle)
 	h.retryPending()
 	h.drainPrefetchQueue()
+	if h.attr != nil {
+		h.attrSampleCycle()
+	}
 }
 
 // Access submits a memory access from the given client. Loads (robIdx >=
@@ -361,6 +379,9 @@ func (h *hierarchy) lookupL2Hit(block cache.Addr) bool {
 		h.ctr.PrefUsed++
 		h.fdp.OnPrefetchUsed()
 		h.pfEv.PrefHit = true
+		if h.attr != nil {
+			h.attrPrefUsed(block)
+		}
 	}
 	h.wh.schedule(h.cfg.L2Latency, h.pool.alloc(evFillL1, 0, 0, block))
 	return true
@@ -379,6 +400,9 @@ func (h *hierarchy) lookupPrefCache(block cache.Addr) bool {
 	h.ctr.PrefCacheHits++
 	h.ctr.PrefUsed++
 	h.fdp.OnPrefetchUsed()
+	if h.attr != nil {
+		h.attrPrefUsed(block)
+	}
 	h.l2.Insert(block, cache.PosMRU, false, false)
 	h.wh.schedule(h.cfg.L2Latency, h.pool.alloc(evFillL1, 0, 0, block))
 	return true
@@ -408,6 +432,9 @@ func (h *hierarchy) l2Miss(block cache.Addr) bool {
 			h.ctr.PrefUsed++
 			h.fdp.OnPrefetchLate()
 			h.dram.Promote(block)
+			if h.attr != nil {
+				h.attrPrefLate(block)
+			}
 		}
 		e.DemandMerged = true
 		return true
@@ -486,6 +513,9 @@ func (h *hierarchy) onFill(r *mem.Request) {
 		stillPref = e.Pref
 		demandMerged = e.DemandMerged
 	}
+	if h.attr != nil && r.WasPrefetch {
+		h.attrPrefFilled(r.Block, stillPref)
+	}
 	if stillPref && h.pc != nil {
 		h.pc.Insert(r.Block, cache.PosMRU, true, false)
 		h.ctr.PrefetchFilled++
@@ -528,6 +558,8 @@ func (h *hierarchy) onL2Evict(ev cache.Evicted) {
 	used := !ev.Block.Pref
 	if used {
 		h.ctr.UsefulEvicted++
+	} else if h.attr != nil {
+		h.attrPrefEvicted(ev.Block.Tag)
 	}
 	h.fdp.OnEviction(ev.Block.Tag, used, ev.Block.DemandFill, ev.ByPrefetch)
 	if ev.Block.Dirty {

@@ -115,7 +115,11 @@ func RunMultiContext(ctx context.Context, mc MultiConfig) (MultiResult, error) {
 					pcyc = cycle - st.warmCycle
 					pret = st.cpu.Retired() - st.warmRetired
 				}
-				st.h.traceDecision(rec, pcyc, pret)
+				var sample stats.IntervalSample
+				if st.h.attr != nil && st.warmed {
+					sample = st.h.attrIntervalSample()
+				}
+				st.h.traceDecision(rec, pcyc, pret, sample)
 				if progress == nil {
 					return
 				}
@@ -131,9 +135,13 @@ func RunMultiContext(ctx context.Context, mc MultiConfig) (MultiResult, error) {
 					Case:      rec.Case,
 					Level:     rec.Level,
 					Insertion: rec.Insertion,
+					Sample:    sample,
 				}
 				if pcyc > 0 {
 					s.IPC = float64(pret) / float64(pcyc)
+				}
+				if pret > 0 {
+					s.BPKI = 1000 * float64(st.ctr.BusAccesses()) / float64(pret)
 				}
 				if st.h.pf != nil {
 					s.Level = st.h.pf.Level()
@@ -187,6 +195,10 @@ func RunMultiContext(ctx context.Context, mc MultiConfig) (MultiResult, error) {
 			if st.h.pf != nil {
 				cr.FinalLevel = st.h.pf.Level()
 			}
+			// Cycle accounting and prefetch timeliness are per-core; the
+			// bus/queue/row telemetry inside reflects the shared DRAM, so
+			// every core reports the same chip-wide memory pressure.
+			cr.Attribution = st.h.attrFinalize()
 			res.Cores = append(res.Cores, cr)
 			res.TotalBusAccesses += st.ctr.BusAccesses()
 		}
@@ -224,6 +236,9 @@ func RunMultiContext(ctx context.Context, mc MultiConfig) (MultiResult, error) {
 				st.warmLoads = st.cpu.RetiredLoads()
 				st.warmStores = st.cpu.RetiredStores()
 				*st.ctr = stats.Counters{}
+				if st.h.attr != nil {
+					st.h.attrWarmupReset()
+				}
 			}
 			if !st.done && st.warmed && st.cpu.Retired() >= st.cfg.WarmupInsts+st.cfg.MaxInsts {
 				st.done = true

@@ -5,6 +5,7 @@ import (
 
 	"fdpsim/internal/cache"
 	"fdpsim/internal/core"
+	"fdpsim/internal/stats"
 )
 
 // Snapshot is one streaming progress record. The runner emits one
@@ -23,6 +24,9 @@ type Snapshot struct {
 	Target uint64
 	// IPC is retired/cycles so far (0 until warmup completes).
 	IPC float64
+	// BPKI is bus accesses per kilo-instruction so far (0 until warmup
+	// completes) — the paper's bandwidth cost metric, live.
+	BPKI float64
 	// Interval is the number of completed FDP sampling intervals.
 	Interval uint64
 	// Accuracy, Lateness and Pollution are the interval's classified
@@ -37,6 +41,9 @@ type Snapshot struct {
 	Level int
 	// Insertion is the LRU-stack position chosen for prefetch fills.
 	Insertion cache.InsertPos
+	// Sample is the interval's cycle-accounting and bandwidth-attribution
+	// delta (zero unless Config.Attribution is set).
+	Sample stats.IntervalSample
 	// Elapsed is wall-clock time since the run started.
 	Elapsed time.Duration
 	// Final marks the completion snapshot: its Retired/IPC match the

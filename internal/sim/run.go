@@ -44,6 +44,12 @@ type Result struct {
 	Partial bool
 	// Elapsed is the run's wall-clock duration.
 	Elapsed time.Duration
+
+	// Attribution holds the cycle-accounting and bandwidth-attribution
+	// block when Config.Attribution is set; nil (and omitted from JSON)
+	// otherwise, keeping the Result shape of non-attribution runs — and
+	// their golden fingerprints — unchanged.
+	Attribution *stats.Attribution `json:",omitempty"`
 }
 
 // cancelCheckStride bounds cancellation latency for runs that close no
@@ -132,7 +138,11 @@ func runWith(ctx context.Context, cfg Config, src cpu.Source) (Result, error) {
 			pcyc = cycle - warmCycle
 			pret = c.Retired() - warmRetired
 		}
-		h.traceDecision(rec, pcyc, pret)
+		var sample stats.IntervalSample
+		if h.attr != nil && warmed {
+			sample = h.attrIntervalSample()
+		}
+		h.traceDecision(rec, pcyc, pret, sample)
 		if cfg.Progress == nil {
 			return
 		}
@@ -148,9 +158,15 @@ func runWith(ctx context.Context, cfg Config, src cpu.Source) (Result, error) {
 			Level:     rec.Level,
 			Insertion: rec.Insertion,
 			Elapsed:   time.Since(start),
+			Sample:    sample,
 		}
 		if pcyc > 0 {
 			s.IPC = float64(pret) / float64(pcyc)
+		}
+		if pret > 0 {
+			// Counters.Retired is only set at finalize; derive BPKI from
+			// the live bus counters and the post-warmup retire count.
+			s.BPKI = 1000 * float64(ctr.BusAccesses()) / float64(pret)
 		}
 		if h.pf != nil {
 			s.Level = h.pf.Level()
@@ -188,6 +204,7 @@ func runWith(ctx context.Context, cfg Config, src cpu.Source) (Result, error) {
 			Partial:    partial,
 			Elapsed:    time.Since(start),
 		}
+		res.Attribution = h.attrFinalize()
 		if h.pf != nil {
 			res.FinalLevel = h.pf.Level()
 		}
@@ -198,6 +215,7 @@ func runWith(ctx context.Context, cfg Config, src cpu.Source) (Result, error) {
 				Retired:   ctr.Retired,
 				Target:    cfg.MaxInsts,
 				IPC:       res.IPC,
+				BPKI:      res.BPKI,
 				Interval:  res.Intervals,
 				Accuracy:  acc,
 				Lateness:  late,
@@ -238,6 +256,9 @@ func runWith(ctx context.Context, cfg Config, src cpu.Source) (Result, error) {
 			warmLoads = c.RetiredLoads()
 			warmStores = c.RetiredStores()
 			*h.ctr = stats.Counters{}
+			if h.attr != nil {
+				h.attrWarmupReset()
+			}
 		}
 		if intervalClosed || cycle&(cancelCheckStride-1) == 0 {
 			intervalClosed = false

@@ -112,7 +112,11 @@ func RunSMTContext(ctx context.Context, cfg SMTConfig) (SMTResult, error) {
 	var cycle uint64
 	if progress, tracer := base.Progress, base.Tracer; progress != nil || tracer != nil {
 		h.fdp.OnInterval = func(rec core.IntervalRecord) {
-			h.traceDecision(rec, cycle, 0)
+			var sample stats.IntervalSample
+			if h.attr != nil {
+				sample = h.attrIntervalSample()
+			}
+			h.traceDecision(rec, cycle, 0, sample)
 			if progress == nil {
 				return
 			}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fdpsim/internal/core"
 	"fdpsim/internal/prefetch"
+	"fdpsim/internal/stats"
 )
 
 // DecisionEvent is one FDP interval boundary, fully explained: the event
@@ -64,6 +65,12 @@ type DecisionEvent struct {
 	// Insertion is the LRU-stack position chosen for prefetch fills until
 	// the next boundary: "MRU", "MID", "LRU-4" or "LRU".
 	Insertion string `json:"insertion"`
+
+	// Sample is the interval's cycle-accounting and bandwidth-attribution
+	// delta, populated when Config.Attribution is set. Zero — and omitted
+	// from the JSONL encoding, keeping non-attribution traces byte-
+	// identical — otherwise.
+	Sample stats.IntervalSample `json:"sample,omitzero"`
 }
 
 // Tracer receives one DecisionEvent per FDP interval boundary. It is
@@ -95,10 +102,11 @@ func levelParams(kind PrefetcherKind, level int) (distance, degree int) {
 
 // traceDecision builds one DecisionEvent from a closed interval's record
 // and delivers it to the configured tracer. cycle and retired are the
-// post-warmup stamps (zero during warmup). No-op without a tracer; the
-// event is stack-built and passed by value, so the call is allocation-free
-// either way.
-func (h *hierarchy) traceDecision(rec core.IntervalRecord, cycle, retired uint64) {
+// post-warmup stamps (zero during warmup); sample is the interval's
+// attribution delta (zero when attribution is off). No-op without a
+// tracer; the event is stack-built and passed by value, so the call is
+// allocation-free either way.
+func (h *hierarchy) traceDecision(rec core.IntervalRecord, cycle, retired uint64, sample stats.IntervalSample) {
 	t := h.cfg.Tracer
 	if t == nil {
 		return
@@ -125,5 +133,6 @@ func (h *hierarchy) traceDecision(rec core.IntervalRecord, cycle, retired uint64
 		Distance:      distance,
 		Degree:        degree,
 		Insertion:     rec.Insertion.String(),
+		Sample:        sample,
 	})
 }

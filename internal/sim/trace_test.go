@@ -21,32 +21,43 @@ func (t *noopTracer) TraceDecision(ev DecisionEvent) { t.n++ }
 
 // boundaryHarness builds a hierarchy whose FDP engine closes one sampling
 // interval per useful eviction, with the OnInterval hook wired the way
-// runWith wires it. Driving OnEviction exercises the full interval-boundary
-// path: Equation 1 rolls, Table 2 lookup, level/insertion update, record
-// construction and tracer delivery.
-func boundaryHarness(tr Tracer) *hierarchy {
+// runWith wires it (including the attribution interval sample when
+// enabled). Driving OnEviction exercises the full interval-boundary path:
+// Equation 1 rolls, Table 2 lookup, level/insertion update, record
+// construction, sample assembly and tracer delivery.
+func boundaryHarness(tr Tracer, attribution bool) *hierarchy {
 	cfg := WithFDP(PrefStream)
 	cfg.FDP.TInterval = 1
 	cfg.Tracer = tr
+	cfg.Attribution = attribution
 	ctr := &stats.Counters{}
 	h := newHierarchy(&cfg, ctr)
-	h.fdp.OnInterval = func(rec core.IntervalRecord) { h.traceDecision(rec, 123, 456) }
+	h.fdp.OnInterval = func(rec core.IntervalRecord) {
+		var sample stats.IntervalSample
+		if h.attr != nil {
+			sample = h.attrIntervalSample()
+		}
+		h.traceDecision(rec, 123, 456, sample)
+	}
 	return h
 }
 
 // TestTraceDecisionAllocs pins the hot-path contract: an interval boundary
-// allocates nothing, with no tracer and with a delivering tracer alike
-// (DecisionEvent is stack-built and passed by value).
+// allocates nothing — with no tracer, with a delivering tracer, and with
+// attribution sampling on (DecisionEvent and IntervalSample are
+// stack-built and passed by value).
 func TestTraceDecisionAllocs(t *testing.T) {
 	for _, tc := range []struct {
 		name string
 		tr   Tracer
+		attr bool
 	}{
-		{"nil-tracer", nil},
-		{"noop-tracer", &noopTracer{}},
+		{"nil-tracer", nil, false},
+		{"noop-tracer", &noopTracer{}, false},
+		{"noop-tracer-attribution", &noopTracer{}, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			h := boundaryHarness(tc.tr)
+			h := boundaryHarness(tc.tr, tc.attr)
 			var block uint64
 			if got := testing.AllocsPerRun(1000, func() {
 				block++
@@ -65,12 +76,14 @@ func BenchmarkIntervalBoundary(b *testing.B) {
 	for _, tc := range []struct {
 		name string
 		tr   Tracer
+		attr bool
 	}{
-		{"nil-tracer", nil},
-		{"noop-tracer", &noopTracer{}},
+		{"nil-tracer", nil, false},
+		{"noop-tracer", &noopTracer{}, false},
+		{"noop-tracer-attribution", &noopTracer{}, true},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
-			h := boundaryHarness(tc.tr)
+			h := boundaryHarness(tc.tr, tc.attr)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				h.fdp.OnEviction(uint64(i), true, true, false)
