@@ -76,13 +76,18 @@ experiments:
 serve:
 	go run ./cmd/fdpserved -addr :8080 -cache-dir .fdpcache
 
+# go test runs one fuzz target per invocation, so the v1 and v2 decoders
+# fuzz back to back (patterns anchored: "FuzzReader" alone would match
+# both and go test refuses an ambiguous -fuzz).
 fuzz:
-	go test ./internal/trace -run xxx -fuzz FuzzReader -fuzztime 30s
+	go test ./internal/trace -run xxx -fuzz 'FuzzReader$$' -fuzztime 30s
+	go test ./internal/trace -run xxx -fuzz 'FuzzReaderV2$$' -fuzztime 30s
 
-# The 10-second slice CI runs on every PR, so trace-decoder fuzz
-# regressions surface before merge rather than in nightly runs.
+# The 10-second-per-decoder slice CI runs on every PR, so trace-decoder
+# fuzz regressions surface before merge rather than in nightly runs.
 fuzz-smoke:
-	go test ./internal/trace -run xxx -fuzz FuzzReader -fuzztime 10s
+	go test ./internal/trace -run xxx -fuzz 'FuzzReader$$' -fuzztime 10s
+	go test ./internal/trace -run xxx -fuzz 'FuzzReaderV2$$' -fuzztime 10s
 
 clean:
 	go clean ./...

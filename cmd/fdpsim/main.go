@@ -7,7 +7,13 @@
 //	fdpsim -workload mixedphase -fdp -progress -timeout 30s
 //	fdpsim -workload chaserand -fdp -trace-out decisions.jsonl
 //	fdpsim -workload chaserand -fdp -trace-out trace.json -trace-format chrome
+//	fdpsim -spec svc.yaml -fdp -insts 2000000
 //	fdpsim -list
+//
+// -spec loads a declarative WorkloadSpec (JSON or YAML; see
+// docs/WORKLOADS.md), registers it alongside the built-in workloads, and
+// runs it. A single-lane spec runs like any workload; a multi-lane spec
+// fans its lanes out as cores on the shared bus and reports like -cores.
 //
 // -progress streams one line of FDP telemetry per sampling interval to
 // stderr. -trace-out records the full FDP decision trace — one
@@ -122,10 +128,6 @@ func progressLine(s fdpsim.Snapshot) {
 
 // runMulticore executes one multi-core simulation with every core using
 // the already-parsed single-core configuration as its template.
-// finishTrace, when non-nil, finalizes the -trace-out artifact (the cores
-// share the template's tracer; events carry the core index). stopProf
-// finalizes the -cpuprofile/-memprofile artifacts; it runs here because
-// this function exits the process, skipping main's deferred copy.
 func runMulticore(ctx context.Context, tmpl fdpsim.Config, workloads []string, jsonOut bool, finishTrace, stopProf func()) {
 	var mc fdpsim.MultiConfig
 	for _, w := range workloads {
@@ -134,6 +136,16 @@ func runMulticore(ctx context.Context, tmpl fdpsim.Config, workloads []string, j
 		mc.Cores = append(mc.Cores, cfg)
 	}
 	res, err := fdpsim.RunMultiContext(ctx, mc)
+	reportMulti(res, err, jsonOut, finishTrace, stopProf)
+}
+
+// reportMulti renders a multi-core result and exits the process. It is
+// shared by -cores (named workloads) and multi-lane -spec runs.
+// finishTrace, when non-nil, finalizes the -trace-out artifact (the cores
+// share the template's tracer; events carry the core index). stopProf
+// finalizes the -cpuprofile/-memprofile artifacts; it runs here because
+// this function exits the process, skipping main's deferred copy.
+func reportMulti(res fdpsim.MultiResult, err error, jsonOut bool, finishTrace, stopProf func()) {
 	stopProf()
 	if finishTrace != nil {
 		finishTrace() // flush even a partial trace; it matches the partial result
@@ -171,6 +183,7 @@ func runMulticore(ctx context.Context, tmpl fdpsim.Config, workloads []string, j
 func main() {
 	var (
 		workloadName = flag.String("workload", "seqstream", "workload name (see -list)")
+		specPath     = flag.String("spec", "", "WorkloadSpec file (JSON/YAML) to register and run (multi-lane specs fan out like -cores)")
 		prefName     = flag.String("prefetcher", "stream", "prefetcher: none, stream, ghb, stride, nextline")
 		level        = flag.Int("level", 5, "static aggressiveness 1..5 (ignored with -fdp)")
 		fdp          = flag.Bool("fdp", false, "enable full FDP (dynamic aggressiveness + insertion)")
@@ -202,6 +215,27 @@ func main() {
 		return
 	}
 
+	// Load and validate the spec before anything else: a typo in the file
+	// must fail with exit code 2 before any artifact is opened, and a valid
+	// spec must appear in -list. Unless -workload was given explicitly, the
+	// spec itself is what runs.
+	var sp *fdpsim.WorkloadSpec
+	if *specPath != "" {
+		loaded, err := fdpsim.LoadSpec(*specPath)
+		cli.FatalIf(tool, err)
+		cli.FatalIf(tool, fdpsim.RegisterWorkloadSpec(loaded))
+		sp = loaded
+		explicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workload" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			*workloadName = sp.Name
+		}
+	}
+
 	if *list {
 		cli.Listing(func(w io.Writer) {
 			fmt.Fprintln(w, "memory-intensive (the paper's 17-benchmark set):")
@@ -211,6 +245,12 @@ func main() {
 			fmt.Fprintln(w, "low-potential (Figure 14's 9 benchmarks):")
 			for _, name := range fdpsim.LowPotentialWorkloads() {
 				fmt.Fprintf(w, "  %-14s %s\n", name, fdpsim.WorkloadAbout(name))
+			}
+			if specs := fdpsim.WorkloadList(fdpsim.WorkloadTagSpec); len(specs) > 0 {
+				fmt.Fprintln(w, "spec-defined (registered from -spec):")
+				for _, info := range specs {
+					fmt.Fprintf(w, "  %-14s %s\n", info.Name, info.About)
+				}
 			}
 		})
 	}
@@ -288,7 +328,20 @@ func main() {
 		return
 	}
 
-	res, err := fdpsim.RunContext(ctx, cfg)
+	// A multi-lane spec is a multicore run: each lane becomes a core on
+	// the shared bus, reported exactly like -cores.
+	if sp != nil && *workloadName == sp.Name && sp.Lanes() > 1 {
+		mres, merr := fdpsim.RunSpecMulti(ctx, cfg, sp)
+		reportMulti(mres, merr, *jsonOut, finishTrace, stopProf)
+		return
+	}
+
+	var res fdpsim.Result
+	if sp != nil && *workloadName == sp.Name {
+		res, err = fdpsim.RunSpec(ctx, cfg, sp)
+	} else {
+		res, err = fdpsim.RunContext(ctx, cfg)
+	}
 	stopProf() // before os.Exit below, and before report rendering
 	if finishTrace != nil {
 		finishTrace() // flush even a partial trace; it matches the partial result

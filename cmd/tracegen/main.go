@@ -5,12 +5,23 @@
 //
 //	tracegen -list
 //	tracegen -workload seqstream -ops 1000000 -o seqstream.trc
-//	tracegen -replay seqstream.trc -prefetcher stream -level 5
+//	tracegen -spec svc.yaml -ops 100000000 -o svc.trc
+//	tracegen -spec svc.yaml -lane 1 -seed 7 -o svc-lane1.trc
+//	tracegen -replay svc.trc -prefetcher stream -level 5
 //
-// Only run output goes to stdout; the -list listing is help text and
-// prints to stderr. Exit codes follow the shared table in internal/cli:
-// 0 success, 1 runtime error, 2 bad usage (unknown workload or
-// prefetcher, and -list listings).
+// -spec loads a declarative WorkloadSpec (JSON or YAML; see
+// docs/WORKLOADS.md) and registers it alongside the built-in workloads —
+// -list then shows it tagged "spec". Recording defaults to the spec's
+// name and lane 0; -lane selects another lane of a multicore/SMT spec.
+// Specs and flags are validated up front, before any file is created.
+//
+// Traces are written in the streaming v2 format by default (block-framed,
+// CRC-protected, replayable at O(block) memory however long the trace);
+// -format v1 keeps the legacy whole-file format. -replay auto-detects the
+// version. Only run output goes to stdout; the -list listing is help text
+// and prints to stderr. Exit codes follow the shared table in
+// internal/cli: 0 success, 1 runtime error, 2 bad usage (unknown
+// workload or prefetcher, invalid spec, and -list listings).
 package main
 
 import (
@@ -22,6 +33,7 @@ import (
 
 	"fdpsim"
 	"fdpsim/internal/cli"
+	"fdpsim/internal/cpu"
 	"fdpsim/internal/trace"
 	"fdpsim/internal/workload"
 )
@@ -31,8 +43,11 @@ const tool = "tracegen"
 func main() {
 	var (
 		workloadName = flag.String("workload", "seqstream", "workload to record (see -list)")
+		specPath     = flag.String("spec", "", "WorkloadSpec file (JSON/YAML) to register and record")
+		lane         = flag.Int("lane", 0, "spec lane to record (multicore/SMT specs)")
 		ops          = flag.Uint64("ops", 1_000_000, "micro-ops to record")
 		out          = flag.String("o", "", "output trace path (default <workload>.trc)")
+		format       = flag.String("format", "v2", "trace format to write: v2 (streaming) or v1 (legacy)")
 		replay       = flag.String("replay", "", "replay a trace file through the simulator instead of recording")
 		prefName     = flag.String("prefetcher", "stream", "prefetcher for -replay (see -list)")
 		level        = flag.Int("level", 5, "aggressiveness for -replay")
@@ -47,11 +62,31 @@ func main() {
 		return
 	}
 
+	// Load and validate the spec before anything else: a typo in the file
+	// must fail with exit code 2 and no other side effects.
+	var sp *fdpsim.WorkloadSpec
+	if *specPath != "" {
+		loaded, err := fdpsim.LoadSpec(*specPath)
+		cli.FatalIf(tool, err)
+		cli.FatalIf(tool, fdpsim.RegisterWorkloadSpec(loaded))
+		sp = loaded
+		// Unless -workload was given explicitly, record the spec itself.
+		explicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workload" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			*workloadName = sp.Name
+		}
+	}
+
 	if *list {
 		cli.Listing(func(w io.Writer) {
 			fmt.Fprintln(w, "workloads (-workload):")
-			for _, name := range fdpsim.Workloads() {
-				fmt.Fprintf(w, "  %-14s %s\n", name, fdpsim.WorkloadAbout(name))
+			for _, info := range fdpsim.WorkloadList() {
+				fmt.Fprintf(w, "  %-14s [%s] %s\n", info.Name, strings.Join(info.Tags, ","), info.About)
 			}
 			fmt.Fprintln(w, "prefetchers (-prefetcher, for -replay):")
 			fmt.Fprintf(w, "  %s\n", joinKinds())
@@ -68,15 +103,19 @@ func main() {
 		f, err := os.Open(*replay)
 		cli.FatalIf(tool, err)
 		defer f.Close()
-		r, err := trace.NewReader(f)
+		r, err := trace.Open(f)
 		cli.FatalIf(tool, err)
-		r.Loop = true
-		cfg.MaxInsts = uint64(r.Len())
+		r.SetLoop(true)
+		cfg.MaxInsts = r.Ops()
 		res, err := fdpsim.RunSource(cfg, r)
 		cli.FatalIf(tool, err)
 		fmt.Printf("replayed %s (%d ops): IPC=%.4f BPKI=%.2f accuracy=%.1f%%\n",
-			r.Name(), r.Len(), res.IPC, res.BPKI, 100*res.Accuracy)
+			r.Name(), r.Ops(), res.IPC, res.BPKI, 100*res.Accuracy)
 		return
+	}
+
+	if *format != "v1" && *format != "v2" {
+		cli.Fatalf(tool, cli.ExitUsage, "unknown -format %q (want v1 or v2)", *format)
 	}
 
 	// Same up-front check for the workload: no half-written trace file
@@ -85,15 +124,42 @@ func main() {
 		cli.Fatalf(tool, cli.ExitUsage, "unknown workload %q\nvalid workloads: %s",
 			*workloadName, strings.Join(fdpsim.Workloads(), ", "))
 	}
-	src, err := workload.New(*workloadName, *seed)
-	cli.FatalIf(tool, err)
+	var src fdpsim.Source
+	switch {
+	case sp != nil && *workloadName == sp.Name:
+		// Record straight from the spec so -lane can address any lane, not
+		// just the registry's lane 0.
+		if *lane < 0 || *lane >= sp.Lanes() {
+			cli.Fatalf(tool, cli.ExitUsage, "spec %s has lanes 0..%d, not %d", sp.Name, sp.Lanes()-1, *lane)
+		}
+		src = sp.Source(*lane, *seed)
+	default:
+		if *lane != 0 {
+			cli.Fatalf(tool, cli.ExitUsage, "-lane only applies when recording a -spec workload")
+		}
+		var err error
+		src, err = workload.New(*workloadName, *seed)
+		cli.FatalIf(tool, err)
+	}
 	path := *out
 	if path == "" {
 		path = *workloadName + ".trc"
 	}
 	f, err := os.Create(path)
 	cli.FatalIf(tool, err)
-	w, err := trace.NewWriter(f, *workloadName)
+
+	// The v2 writer streams frame by frame: recording is O(frame) memory
+	// no matter how many ops -ops asks for.
+	type opWriter interface {
+		Write(cpu.MicroOp) error
+		Close() error
+	}
+	var w opWriter
+	if *format == "v1" {
+		w, err = trace.NewWriter(f, *workloadName)
+	} else {
+		w, err = trace.NewWriterV2(f, *workloadName)
+	}
 	cli.FatalIf(tool, err)
 	for i := uint64(0); i < *ops; i++ {
 		cli.FatalIf(tool, w.Write(src.Next()))
@@ -102,8 +168,8 @@ func main() {
 	cli.FatalIf(tool, f.Close())
 	st, err := os.Stat(path)
 	cli.FatalIf(tool, err)
-	fmt.Printf("recorded %d ops of %s to %s (%d bytes, %.2f bits/op)\n",
-		*ops, *workloadName, path, st.Size(), 8*float64(st.Size())/float64(*ops))
+	fmt.Printf("recorded %d ops of %s to %s (%s, %d bytes, %.2f bits/op)\n",
+		*ops, *workloadName, path, *format, st.Size(), 8*float64(st.Size())/float64(*ops))
 }
 
 func joinKinds() string {

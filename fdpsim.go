@@ -30,6 +30,7 @@ import (
 	"fdpsim/internal/prefetch"
 	"fdpsim/internal/sim"
 	"fdpsim/internal/workload"
+	"fdpsim/internal/workload/spec"
 )
 
 // InsertPos names a depth in a cache set's LRU stack at which prefetched
@@ -164,8 +165,15 @@ type MultiResult = sim.MultiResult
 // CoreResult is one core's outcome within a multi-core run.
 type CoreResult = sim.CoreResult
 
-// Run executes one simulation to completion.
-func Run(cfg Config) (Result, error) { return sim.Run(cfg) }
+// The run matrix below has one canonical entry point per mode — the
+// *Context form — and every context-free variant is exactly
+// `XContext(context.Background(), ...)`: same semantics, no cancellation.
+// Modes: plain (one core, named workload), Multi (cores sharing a bus),
+// SMT (threads sharing a hierarchy), Source (caller-provided micro-op
+// stream), Spec (declarative WorkloadSpec; context-taking only).
+
+// Run is RunContext with a background context.
+func Run(cfg Config) (Result, error) { return RunContext(context.Background(), cfg) }
 
 // RunContext executes one simulation under a context: cancellation and
 // deadlines are observed at every FDP sampling-interval boundary, the
@@ -174,11 +182,11 @@ func Run(cfg Config) (Result, error) { return sim.Run(cfg) }
 // cause.
 func RunContext(ctx context.Context, cfg Config) (Result, error) { return sim.RunContext(ctx, cfg) }
 
-// RunMulti executes a multi-core simulation on a shared memory bus.
-func RunMulti(mc MultiConfig) (MultiResult, error) { return sim.RunMulti(mc) }
+// RunMulti is RunMultiContext with a background context.
+func RunMulti(mc MultiConfig) (MultiResult, error) { return RunMultiContext(context.Background(), mc) }
 
-// RunMultiContext is RunMulti under a context; Snapshot.Core identifies
-// each streaming core.
+// RunMultiContext executes a multi-core simulation on a shared memory
+// bus under a context; Snapshot.Core identifies each streaming core.
 func RunMultiContext(ctx context.Context, mc MultiConfig) (MultiResult, error) {
 	return sim.RunMultiContext(ctx, mc)
 }
@@ -190,32 +198,139 @@ type SMTConfig = sim.SMTConfig
 // SMTResult aggregates an SMT run.
 type SMTResult = sim.SMTResult
 
-// RunSMT executes threads over one shared hierarchy.
-func RunSMT(cfg SMTConfig) (SMTResult, error) { return sim.RunSMT(cfg) }
+// RunSMT is RunSMTContext with a background context.
+func RunSMT(cfg SMTConfig) (SMTResult, error) { return RunSMTContext(context.Background(), cfg) }
 
-// RunSMTContext is RunSMT under a context.
+// RunSMTContext executes threads over one shared hierarchy under a
+// context.
 func RunSMTContext(ctx context.Context, cfg SMTConfig) (SMTResult, error) {
 	return sim.RunSMTContext(ctx, cfg)
 }
 
-// RunSource executes one simulation over a caller-provided micro-op
-// source, enabling custom workloads and trace replay.
-func RunSource(cfg Config, src cpu.Source) (Result, error) { return sim.RunSource(cfg, src) }
+// RunSource is RunSourceContext with a background context.
+func RunSource(cfg Config, src cpu.Source) (Result, error) {
+	return RunSourceContext(context.Background(), cfg, src)
+}
 
-// RunSourceContext is RunSource under a context, with RunContext's
-// cancellation, deadline and progress-streaming semantics.
+// RunSourceContext executes one simulation over a caller-provided
+// micro-op source under a context, enabling custom workloads and trace
+// replay, with RunContext's cancellation, deadline and
+// progress-streaming semantics.
 func RunSourceContext(ctx context.Context, cfg Config, src cpu.Source) (Result, error) {
 	return sim.RunSourceContext(ctx, cfg, src)
 }
 
+// WorkloadSpec is a declarative, seeded, fully reproducible workload: a
+// sequence of phases, each a weighted mixture of heterogeneous clients
+// (stride, pointer-chase, random and hot-set patterns with bursts and
+// skewed rates) composed onto one or more multicore/SMT lanes. Construct
+// it in Go or load it from JSON/YAML with LoadSpec/ParseSpec; the same
+// (spec, seed) always generates the identical micro-op stream. See
+// docs/WORKLOADS.md for the schema reference.
+type WorkloadSpec = spec.Spec
+
+// Component types for constructing WorkloadSpecs in Go.
+type (
+	SpecPhase   = spec.Phase
+	SpecClient  = spec.Client
+	SpecPattern = spec.Pattern
+	SpecStride  = spec.Stride
+)
+
+// Pattern kinds for SpecPattern.Kind.
+const (
+	SpecKindStride = spec.KindStride
+	SpecKindChase  = spec.KindChase
+	SpecKindRandom = spec.KindRandom
+	SpecKindHotset = spec.KindHotset
+)
+
+// ErrInvalidSpec is the sentinel wrapped by every WorkloadSpec validation
+// failure; callers branch with errors.Is (CLIs map it to exit code 2).
+var ErrInvalidSpec = spec.ErrInvalid
+
+// LoadSpec reads, parses and validates a WorkloadSpec file (JSON or the
+// YAML subset documented in docs/WORKLOADS.md).
+func LoadSpec(path string) (*WorkloadSpec, error) { return spec.Load(path) }
+
+// ParseSpec parses and validates a WorkloadSpec from JSON or YAML bytes.
+func ParseSpec(data []byte) (*WorkloadSpec, error) { return spec.Parse(data) }
+
+// RunSpec executes a single-lane WorkloadSpec on one core under a
+// context, with RunContext's cancellation, deadline and
+// progress-streaming semantics; cfg.Workload is overwritten with the
+// spec's name. Multi-lane specs run through RunSpecMulti or RunSpecSMT.
+func RunSpec(ctx context.Context, cfg Config, sp *WorkloadSpec) (Result, error) {
+	return sim.RunSpecContext(ctx, cfg, sp)
+}
+
+// RunSpecMulti runs each lane of a WorkloadSpec on its own core — all
+// cores configured from tmpl — contending for one shared memory bus.
+func RunSpecMulti(ctx context.Context, tmpl Config, sp *WorkloadSpec) (MultiResult, error) {
+	return sim.RunSpecMultiContext(ctx, tmpl, sp)
+}
+
+// RunSpecSMT runs each lane of a WorkloadSpec as one hardware thread
+// over a shared hierarchy configured from base.
+func RunSpecSMT(ctx context.Context, base Config, sp *WorkloadSpec) (SMTResult, error) {
+	return sim.RunSpecSMTContext(ctx, base, sp)
+}
+
+// SpecFingerprint is Fingerprint for spec-driven runs: a stable content
+// hash over the configuration's semantic fields plus the spec's
+// canonical form. Specs that differ only in spelled-out defaults hash
+// identically, and a spec fingerprint never aliases a named-workload
+// one.
+func SpecFingerprint(cfg Config, sp *WorkloadSpec) (fp string, ok bool) {
+	return sim.FingerprintSpec(cfg, sp)
+}
+
+// RegisterWorkloadSpec adds a WorkloadSpec to the workload registry
+// (tagged "spec"), making it runnable by name anywhere a built-in
+// workload is: cfg.Workload = sp.Name. The registered generator is the
+// spec's lane 0; multi-lane specs attach their remaining lanes through
+// RunSpecMulti/RunSpecSMT.
+func RegisterWorkloadSpec(sp *WorkloadSpec) error { return workload.RegisterSpec(sp) }
+
+// WorkloadInfo describes one registered workload: the name Config.Workload
+// keys on, the registry tags, and a one-line description.
+type WorkloadInfo = workload.Info
+
+// Workload registry tags for WorkloadList filtering.
+const (
+	// WorkloadTagBuiltin marks the hand-coded kernel generators.
+	WorkloadTagBuiltin = workload.TagBuiltin
+	// WorkloadTagMemIntensive marks the paper's 17-benchmark set.
+	WorkloadTagMemIntensive = workload.TagMemIntensive
+	// WorkloadTagLowPotential marks the 9 low-potential benchmarks.
+	WorkloadTagLowPotential = workload.TagLowPotential
+	// WorkloadTagSpec marks workloads registered from a WorkloadSpec.
+	WorkloadTagSpec = workload.TagSpec
+)
+
+// WorkloadList returns the workloads carrying every one of the given
+// tags — all workloads when called with none — sorted by name. This is
+// the registry's one listing entry point; the deprecated name-list
+// functions below are thin views over it.
+func WorkloadList(tags ...string) []WorkloadInfo { return workload.List(tags...) }
+
 // Workloads returns all registered workload names.
+//
+// Deprecated: use WorkloadList, which also carries tags and
+// descriptions. Retained so existing callers keep compiling.
 func Workloads() []string { return workload.Names() }
 
 // MemoryIntensiveWorkloads returns the paper's 17-benchmark evaluation set.
+//
+// Deprecated: use WorkloadList(WorkloadTagMemIntensive).
 func MemoryIntensiveWorkloads() []string { return workload.MemoryIntensive() }
 
 // LowPotentialWorkloads returns the remaining 9 benchmarks (Figure 14).
+//
+// Deprecated: use WorkloadList(WorkloadTagLowPotential).
 func LowPotentialWorkloads() []string { return workload.LowPotential() }
 
 // WorkloadAbout returns the one-line description of a workload.
+//
+// Deprecated: use WorkloadList and read Info.About.
 func WorkloadAbout(name string) string { return workload.About(name) }

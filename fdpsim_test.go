@@ -1,6 +1,8 @@
 package fdpsim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -116,4 +118,71 @@ func (s *rampSource) Next() MicroOp {
 		return MicroOp{Kind: OpLoad, Addr: s.i * 16, PC: 0x600000}
 	}
 	return MicroOp{Kind: OpNop}
+}
+
+// TestFacadeWorkloadList covers the tag-based registry view and its
+// agreement with the deprecated name-list functions.
+func TestFacadeWorkloadList(t *testing.T) {
+	all := WorkloadList()
+	if len(all) != len(Workloads()) {
+		t.Fatalf("WorkloadList()=%d, Workloads()=%d", len(all), len(Workloads()))
+	}
+	if got := WorkloadList(WorkloadTagMemIntensive); len(got) != len(MemoryIntensiveWorkloads()) {
+		t.Fatalf("mem-intensive: %d via tags, %d via legacy", len(got), len(MemoryIntensiveWorkloads()))
+	}
+	if got := WorkloadList(WorkloadTagBuiltin, WorkloadTagLowPotential); len(got) != 9 {
+		t.Fatalf("AND filter: %d, want 9", len(got))
+	}
+	for _, info := range all {
+		if info.Name == "" || info.About == "" || len(info.Tags) == 0 {
+			t.Fatalf("incomplete WorkloadInfo: %+v", info)
+		}
+	}
+}
+
+// TestFacadeRunSpec drives a WorkloadSpec through the public facade:
+// parse from YAML, fingerprint, run, reproduce.
+func TestFacadeRunSpec(t *testing.T) {
+	sp, err := ParseSpec([]byte(`
+name: facade.mix
+phases:
+  - clients:
+      - weight: 2
+        pattern:
+          kind: stride
+          footprint_kb: 1024
+          gap: 1
+      - burst_on: 2
+        burst_off: 6
+        pattern:
+          kind: chase
+          footprint_kb: 512
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := WithFDP(PrefStream)
+	cfg.MaxInsts = 40_000
+	cfg.FDP.TInterval = 256
+	fp, ok := SpecFingerprint(cfg, sp)
+	if !ok || fp == "" {
+		t.Fatal("SpecFingerprint failed")
+	}
+	res, err := RunSpec(context.Background(), cfg, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "facade.mix" || res.IPC <= 0 {
+		t.Fatalf("unexpected result: workload=%q IPC=%v", res.Workload, res.IPC)
+	}
+	res2, err := RunSpec(context.Background(), cfg, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters != res2.Counters {
+		t.Fatal("facade spec run not reproducible")
+	}
+	if _, err := ParseSpec([]byte(`name: "Bad Name"`)); !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("invalid spec error: %v", err)
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"fdpsim/internal/sim"
+	"fdpsim/internal/workload/spec"
 )
 
 // Exit codes by name; see the package comment for the table.
@@ -41,7 +42,8 @@ func ExitCode(err error) int {
 		return ExitOK // a -timeout stop is planned, not a failure
 	case errors.Is(err, sim.ErrCancelled):
 		return ExitInterrupted
-	case errors.Is(err, sim.ErrUnknownWorkload), errors.Is(err, sim.ErrInvalidConfig):
+	case errors.Is(err, sim.ErrUnknownWorkload), errors.Is(err, sim.ErrInvalidConfig),
+		errors.Is(err, spec.ErrInvalid):
 		return ExitUsage
 	default:
 		return ExitError

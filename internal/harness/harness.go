@@ -15,6 +15,7 @@ import (
 
 	"fdpsim/internal/sim"
 	"fdpsim/internal/store"
+	"fdpsim/internal/workload/spec"
 )
 
 // Params are the knobs shared by all experiments.
@@ -76,6 +77,12 @@ type RunSpec struct {
 	Workload string
 	Config   string // configuration label, e.g. "Very Aggressive"
 	Cfg      sim.Config
+	// Spec, when non-nil, runs this cell from a declarative WorkloadSpec
+	// instead of a registered workload name: the worker dispatches to
+	// sim.RunSpecContext and memoizes under sim.FingerprintSpec, so spec
+	// cells share the memo and on-disk store with named cells without ever
+	// colliding with them.
+	Spec *spec.Spec
 }
 
 // Key identifies the spec's cell in the result grid.
@@ -176,26 +183,38 @@ func RunAll(ctx context.Context, specs []RunSpec, p Params) (*Grid, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for spec := range jobs {
-				fp, memoizable := sim.Fingerprint(spec.Cfg)
+			for job := range jobs {
+				var fp string
+				var memoizable bool
+				if job.Spec != nil {
+					fp, memoizable = sim.FingerprintSpec(job.Cfg, job.Spec)
+				} else {
+					fp, memoizable = sim.Fingerprint(job.Cfg)
+				}
 				if memoizable {
 					if res, ok := lookup(fp, p.Store); ok {
 						g.mu.Lock()
-						g.results[spec.Key()] = res
+						g.results[job.Key()] = res
 						g.mu.Unlock()
-						finished(spec, res, nil)
+						finished(job, res, nil)
 						continue
 					}
 				}
-				cfg := spec.Cfg
+				cfg := job.Cfg
 				if p.Progress != nil && p.Progress.OnSnapshot != nil {
-					spec := spec
-					cfg.Progress = func(s sim.Snapshot) { p.Progress.OnSnapshot(spec, s) }
+					job := job
+					cfg.Progress = func(s sim.Snapshot) { p.Progress.OnSnapshot(job, s) }
 				}
-				res, err := sim.RunContext(ctx, cfg)
+				var res sim.Result
+				var err error
+				if job.Spec != nil {
+					res, err = sim.RunSpecContext(ctx, cfg, job.Spec)
+				} else {
+					res, err = sim.RunContext(ctx, cfg)
+				}
 				if err != nil {
-					record(fmt.Errorf("%s/%s: %w", spec.Workload, spec.Config, err))
-					finished(spec, res, err)
+					record(fmt.Errorf("%s/%s: %w", job.Workload, job.Config, err))
+					finished(job, res, err)
 					continue
 				}
 				if memoizable {
@@ -207,9 +226,9 @@ func RunAll(ctx context.Context, specs []RunSpec, p Params) (*Grid, error) {
 					}
 				}
 				g.mu.Lock()
-				g.results[spec.Key()] = res
+				g.results[job.Key()] = res
 				g.mu.Unlock()
-				finished(spec, res, nil)
+				finished(job, res, nil)
 			}
 		}()
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"fdpsim/internal/sim"
+	"fdpsim/internal/workload/spec"
 )
 
 func testParams() Params {
@@ -190,5 +191,76 @@ func TestConfigBuilders(t *testing.T) {
 	}
 	if c := withPrefCache(sim.PrefStream, 32); c.PrefCacheBlocks != 512 || c.PrefCacheWays != 16 {
 		t.Fatal("32KB prefetch cache wrong")
+	}
+}
+
+// harnessSpec is a small single-lane WorkloadSpec for grid tests.
+func harnessSpec(name string) *spec.Spec {
+	return &spec.Spec{
+		Name: name,
+		Phases: []spec.Phase{
+			{Ops: 4000, Clients: []spec.Client{
+				{Name: "scan", Pattern: spec.Pattern{Kind: spec.KindStride, FootprintKB: 1024, Gap: 1}},
+				{Name: "serve", Weight: 2, Pattern: spec.Pattern{Kind: spec.KindChase, FootprintKB: 256}},
+			}},
+		},
+	}
+}
+
+func TestSpecGridRunAll(t *testing.T) {
+	ResetMemo()
+	sp := harnessSpec("grid.mix")
+	configs := map[string]sim.Config{
+		cfgVA:  static(sim.PrefStream, 5),
+		cfgFDP: fullFDP(sim.PrefStream),
+	}
+	order := []string{cfgVA, cfgFDP}
+	p := Params{Insts: 10_000, TInterval: 256, Seed: 3, Workers: 2}
+	specs := SpecGrid([]*spec.Spec{sp}, configs, order, p)
+	if len(specs) != 2 {
+		t.Fatalf("SpecGrid built %d cells, want 2", len(specs))
+	}
+	for _, s := range specs {
+		if s.Spec != sp || s.Workload != "grid.mix" || s.Cfg.Workload != "grid.mix" {
+			t.Fatalf("malformed cell: %+v", s)
+		}
+		if s.Cfg.MaxInsts != p.Insts || s.Cfg.Seed != p.Seed {
+			t.Fatal("params not stamped on spec cells")
+		}
+	}
+	g, err := RunAll(context.Background(), specs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.MustGet("grid.mix", cfgFDP)
+	if r.IPC <= 0 || r.Workload != "grid.mix" {
+		t.Fatalf("spec cell result: %+v", r)
+	}
+	// Spec cells memoize under FingerprintSpec: a second RunAll is a pure
+	// cache hit with identical values.
+	g2, err := RunAll(context.Background(), specs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.MustGet("grid.mix", cfgFDP).Counters != r.Counters {
+		t.Fatal("memoized spec result differs")
+	}
+	// A named cell with the same workload string must not alias the spec
+	// cell's memo entry (FingerprintSpec is domain-separated).
+	fpSpec, ok := sim.FingerprintSpec(specs[0].Cfg, sp)
+	if !ok {
+		t.Fatal("FingerprintSpec failed")
+	}
+	if fpNamed, ok := sim.Fingerprint(specs[0].Cfg); ok && fpNamed == fpSpec {
+		t.Fatal("spec and named fingerprints alias")
+	}
+}
+
+func TestSpecGridInvalidSpecPropagates(t *testing.T) {
+	bad := &spec.Spec{Name: "bad"}
+	p := Params{Insts: 1000, Workers: 1}
+	specs := SpecGrid([]*spec.Spec{bad}, map[string]sim.Config{"a": sim.Default()}, []string{"a"}, p)
+	if _, err := RunAll(context.Background(), specs, p); err == nil {
+		t.Fatal("invalid spec cell did not error")
 	}
 }

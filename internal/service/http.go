@@ -12,6 +12,7 @@ import (
 
 	"fdpsim/internal/obs"
 	"fdpsim/internal/sim"
+	"fdpsim/internal/workload/spec"
 )
 
 // JobRequest is the POST /v1/jobs body. Either set the simple fields —
@@ -44,6 +45,13 @@ type JobRequest struct {
 	// Config, when present, is the full simulator configuration and takes
 	// the place of the assembled baseline.
 	Config *sim.Config `json:"config,omitempty"`
+
+	// Spec, when present, is a declarative WorkloadSpec (the same schema
+	// docs/WORKLOADS.md documents for spec files) the job runs instead of a
+	// registered workload name; "workload" is then ignored and the job is
+	// deduplicated under the spec-aware fingerprint. Only single-lane specs
+	// are accepted.
+	Spec *spec.Spec `json:"spec,omitempty"`
 }
 
 // BuildConfig assembles the simulation configuration. Validation happens
@@ -150,6 +158,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var opts []SubmitOption
 	if req.Trace {
 		opts = append(opts, WithDecisionTrace())
+	}
+	if req.Spec != nil {
+		opts = append(opts, WithWorkloadSpec(req.Spec))
 	}
 	job, err := s.Submit(req.BuildConfig(), opts...)
 	switch {

@@ -33,6 +33,7 @@ import (
 	"fdpsim/internal/obs"
 	"fdpsim/internal/sim"
 	"fdpsim/internal/store"
+	"fdpsim/internal/workload/spec"
 )
 
 // Sentinel errors; the HTTP layer maps them to status codes.
@@ -100,6 +101,11 @@ type Job struct {
 	id  string
 	fp  string
 	cfg sim.Config
+	// spec, when non-nil, is the declarative WorkloadSpec this job runs
+	// instead of a registered workload name (WithWorkloadSpec). The
+	// fingerprint is then sim.FingerprintSpec's domain-separated digest, so
+	// spec jobs share the cache machinery without aliasing named jobs.
+	spec *spec.Spec
 
 	mu          sync.Mutex
 	state       JobState
@@ -349,7 +355,9 @@ func (s *Server) storeResult(fp string, res sim.Result) {
 type SubmitOption func(*submitOptions)
 
 type submitOptions struct {
-	trace bool
+	trace   bool
+	spec    *spec.Spec
+	specSet bool // WithWorkloadSpec given, even with a nil spec (rejected)
 }
 
 // WithDecisionTrace makes the job collect its FDP decision trace (one
@@ -358,6 +366,17 @@ type submitOptions struct {
 // the persisted trace when the store still has one.
 func WithDecisionTrace() SubmitOption {
 	return func(o *submitOptions) { o.trace = true }
+}
+
+// WithWorkloadSpec makes the job run a declarative WorkloadSpec instead
+// of a registered workload name: the configuration's Workload field is
+// overwritten with the spec's name, validation goes through
+// sim.ValidateSpecJob (single-lane specs only — a multi-lane spec needs a
+// multicore run the job service does not model), and deduplication keys
+// on sim.FingerprintSpec, which canonicalizes the spec so spelled-out
+// defaults hit the same cache entry.
+func WithWorkloadSpec(sp *spec.Spec) SubmitOption {
+	return func(o *submitOptions) { o.spec, o.specSet = sp, true }
 }
 
 // Submit validates a configuration and either completes it from cache,
@@ -372,12 +391,22 @@ func (s *Server) Submit(cfg sim.Config, opts ...SubmitOption) (*Job, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	if err := cfg.ValidateJob(); err != nil {
-		return nil, err
+	var fp string
+	var ok bool
+	if o.specSet {
+		if err := sim.ValidateSpecJob(cfg, o.spec); err != nil {
+			return nil, err
+		}
+		cfg.Workload = o.spec.Name
+		fp, ok = sim.FingerprintSpec(cfg, o.spec)
+	} else {
+		if err := cfg.ValidateJob(); err != nil {
+			return nil, err
+		}
+		fp, ok = sim.Fingerprint(cfg)
 	}
-	fp, ok := sim.Fingerprint(cfg)
 	if !ok {
-		// Unreachable: ValidateJob rejects custom prefetchers.
+		// Unreachable: ValidateJob/ValidateSpecJob reject custom prefetchers.
 		return nil, fmt.Errorf("%w: configuration is not fingerprintable", sim.ErrInvalidConfig)
 	}
 	cfg.Progress = nil // the worker installs its own sinks
@@ -393,6 +422,7 @@ func (s *Server) Submit(cfg sim.Config, opts ...SubmitOption) (*Job, error) {
 		id:          fmt.Sprintf("job-%06d", s.nextID),
 		fp:          fp,
 		cfg:         cfg,
+		spec:        o.spec,
 		state:       StateQueued,
 		submittedAt: time.Now(),
 		subs:        make(map[int]chan sim.Snapshot),
@@ -539,7 +569,13 @@ func (s *Server) runJob(job *Job) {
 	if job.trace != nil {
 		cfg.Tracer = job.trace
 	}
-	res, err := sim.RunContext(runCtx, cfg)
+	var res sim.Result
+	var err error
+	if job.spec != nil {
+		res, err = sim.RunSpecContext(runCtx, cfg, job.spec)
+	} else {
+		res, err = sim.RunContext(runCtx, cfg)
+	}
 
 	s.m.simCycles.Add(res.Counters.Cycles)
 	s.m.simNanos.Add(uint64(res.Elapsed.Nanoseconds()))

@@ -18,6 +18,12 @@ import (
 // processors". The shared DRAM takes its parameters from Cores[0].
 type MultiConfig struct {
 	Cores []Config
+	// Sources optionally provides one micro-op source per core instead of
+	// instantiating Cores[i].Workload by name. When set, its length must
+	// equal len(Cores) and the sources are attached as-is — address-space
+	// disjointness is the provider's concern (WorkloadSpec lanes give every
+	// client a private window; see RunSpecMultiContext).
+	Sources []cpu.Source
 }
 
 // CoreResult is one core's outcome within a multi-core run. Statistics
@@ -68,6 +74,9 @@ func RunMultiContext(ctx context.Context, mc MultiConfig) (MultiResult, error) {
 	if n == 0 {
 		return MultiResult{}, fmt.Errorf("%w: multi-core run needs at least one core", ErrInvalidConfig)
 	}
+	if mc.Sources != nil && len(mc.Sources) != n {
+		return MultiResult{}, fmt.Errorf("%w: %d sources for %d cores", ErrInvalidConfig, len(mc.Sources), n)
+	}
 	for i := range mc.Cores {
 		if err := mc.Cores[i].Validate(); err != nil {
 			return MultiResult{}, fmt.Errorf("core %d: %w", i, err)
@@ -95,15 +104,20 @@ func RunMultiContext(ctx context.Context, mc MultiConfig) (MultiResult, error) {
 	cores := make([]*coreState, n)
 	for i := range mc.Cores {
 		cfg := mc.Cores[i] // copy
-		src, err := workload.New(cfg.Workload, cfg.Seed+uint64(i))
-		if err != nil {
-			return MultiResult{}, err
+		var spaced cpu.Source
+		if mc.Sources != nil {
+			spaced = mc.Sources[i]
+		} else {
+			src, err := workload.New(cfg.Workload, cfg.Seed+uint64(i))
+			if err != nil {
+				return MultiResult{}, err
+			}
+			// Give each core a private address space so co-running workloads
+			// interact only through shared-resource contention.
+			spaced = &offsetSource{src: src, base: uint64(i) << 44}
 		}
 		st := &coreState{cfg: &cfg, ctr: &stats.Counters{}}
 		st.h = newHierarchyShared(&cfg, st.ctr, dram, i)
-		// Give each core a private address space so co-running workloads
-		// interact only through shared-resource contention.
-		spaced := &offsetSource{src: src, base: uint64(i) << 44}
 		st.cpu = st.h.attach(&cfg, spaced)
 		cores[i] = st
 		if progress, tracer := cfg.Progress, cfg.Tracer; progress != nil || tracer != nil {

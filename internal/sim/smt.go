@@ -22,6 +22,12 @@ type SMTConfig struct {
 	Base Config
 	// Workloads names one workload per hardware thread.
 	Workloads []string
+	// Sources optionally provides one micro-op source per thread instead
+	// of instantiating Workloads[i] by name; Workloads then only labels
+	// the threads. When set, its length must equal len(Workloads) and the
+	// sources are attached as-is — address-space disjointness is the
+	// provider's concern (see RunSpecSMTContext).
+	Sources []cpu.Source
 }
 
 // ThreadResult is one thread's outcome in an SMT run.
@@ -98,6 +104,9 @@ func RunSMTContext(ctx context.Context, cfg SMTConfig) (SMTResult, error) {
 	if len(cfg.Workloads) == 0 {
 		return SMTResult{}, fmt.Errorf("%w: SMT run needs at least one thread", ErrInvalidConfig)
 	}
+	if cfg.Sources != nil && len(cfg.Sources) != len(cfg.Workloads) {
+		return SMTResult{}, fmt.Errorf("%w: %d sources for %d threads", ErrInvalidConfig, len(cfg.Sources), len(cfg.Workloads))
+	}
 	base := cfg.Base
 	base.Workload = cfg.Workloads[0] // satisfy validation; sources are per-thread
 	if err := base.Validate(); err != nil {
@@ -145,14 +154,19 @@ func RunSMTContext(ctx context.Context, cfg SMTConfig) (SMTResult, error) {
 	threads := make([]*thread, len(cfg.Workloads))
 	res := SMTResult{}
 	for i, w := range cfg.Workloads {
-		src, err := workload.New(w, base.Seed+uint64(i))
-		if err != nil {
-			return SMTResult{}, err
+		var spaced cpu.Source
+		if cfg.Sources != nil {
+			spaced = cfg.Sources[i]
+		} else {
+			src, err := workload.New(w, base.Seed+uint64(i))
+			if err != nil {
+				return SMTResult{}, err
+			}
+			// Each thread runs in its own address space: offset both data and
+			// code addresses so co-running workloads contend for cache *space*
+			// rather than aliasing each other's lines.
+			spaced = &offsetSource{src: src, base: uint64(i) << 44}
 		}
-		// Each thread runs in its own address space: offset both data and
-		// code addresses so co-running workloads contend for cache *space*
-		// rather than aliasing each other's lines.
-		spaced := &offsetSource{src: src, base: uint64(i) << 44}
 		th := &thread{c: h.attach(&base, spaced)}
 		threads[i] = th
 		res.Threads = append(res.Threads, ThreadResult{Workload: w})

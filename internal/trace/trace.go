@@ -129,6 +129,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
 	if m != magic {
+		if m == magicV2 {
+			return nil, errors.New("trace: this is a v2 trace; use trace.Open or trace.NewReaderV2")
+		}
 		return nil, errors.New("trace: bad magic (not a trace file or wrong version)")
 	}
 	nameLen, err := binary.ReadUvarint(br)
@@ -197,6 +200,12 @@ func (t *Reader) Name() string { return t.name }
 
 // Len returns the number of recorded micro-ops.
 func (t *Reader) Len() int { return len(t.ops) }
+
+// Ops implements ReplaySource.
+func (t *Reader) Ops() uint64 { return uint64(len(t.ops)) }
+
+// SetLoop implements ReplaySource.
+func (t *Reader) SetLoop(loop bool) { t.Loop = loop }
 
 // Exhausted reports whether a non-looping reader has run past its ops.
 func (t *Reader) Exhausted() bool { return t.ended }

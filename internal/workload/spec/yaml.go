@@ -1,0 +1,206 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// yamlToValue parses the YAML subset workload specs need — nested block
+// mappings, block sequences ("- " items, including inline "key: value"
+// starts), scalars (strings, numbers, booleans, null), '#' comments —
+// into the map[string]any / []any / scalar shape json.Marshal accepts.
+// No external dependency: the repo's no-new-deps rule rules out a full
+// YAML library, and specs never need anchors, flow collections,
+// multi-line strings or type tags. Anything outside the subset fails
+// loudly rather than parsing wrong.
+
+type yamlLine struct {
+	indent int
+	text   string // content with indentation stripped
+	num    int    // 1-based source line, for errors
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+func yamlToValue(data []byte) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, " \t\r")
+		stripped := stripComment(line)
+		trimmed := strings.TrimLeft(stripped, " ")
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "\t") {
+			return nil, fmt.Errorf("yaml line %d: tabs are not allowed in indentation", i+1)
+		}
+		lines = append(lines, yamlLine{indent: len(stripped) - len(trimmed), text: trimmed, num: i + 1})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, fmt.Errorf("yaml line %d: unexpected content %q (bad indentation?)", p.lines[p.pos].num, p.lines[p.pos].text)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing "#..." that is not inside quotes.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch {
+		case r == '\'' && !inDouble:
+			inSingle = !inSingle
+		case r == '"' && !inSingle:
+			inDouble = !inDouble
+		case r == '#' && !inSingle && !inDouble:
+			// YAML requires whitespace (or line start) before a comment.
+			if i == 0 || s[i-1] == ' ' || s[i-1] == '\t' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses the run of lines at exactly the given indent as a
+// mapping or a sequence.
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, fmt.Errorf("yaml: unexpected end of document")
+	}
+	if strings.HasPrefix(p.lines[p.pos].text, "- ") || p.lines[p.pos].text == "-" {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *yamlParser) parseSequence(indent int) (any, error) {
+	var out []any
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent || !(strings.HasPrefix(ln.text, "- ") || ln.text == "-") {
+			break
+		}
+		p.pos++
+		rest := strings.TrimPrefix(strings.TrimPrefix(ln.text, "-"), " ")
+		switch {
+		case rest == "":
+			// Item body on the following, deeper-indented lines.
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				out = append(out, nil)
+				continue
+			}
+			item, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, item)
+		case isMappingStart(rest):
+			// "- key: value" — the item is a mapping whose first entry is
+			// inline; continuation keys sit two columns deeper, aligned
+			// with the inline key. Splice a virtual line and reparse.
+			virtual := yamlLine{indent: indent + 2, text: rest, num: ln.num}
+			p.lines = append(p.lines[:p.pos], append([]yamlLine{virtual}, p.lines[p.pos:]...)...)
+			item, err := p.parseMapping(indent + 2)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, item)
+		default:
+			out = append(out, parseScalar(rest))
+		}
+	}
+	return out, nil
+}
+
+func (p *yamlParser) parseMapping(indent int) (any, error) {
+	out := map[string]any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent {
+			break
+		}
+		key, rest, ok := splitKey(ln.text)
+		if !ok {
+			return nil, fmt.Errorf("yaml line %d: expected \"key: value\", got %q", ln.num, ln.text)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("yaml line %d: duplicate key %q", ln.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			out[key] = parseScalar(rest)
+			continue
+		}
+		// Value is the following deeper-indented block (or null).
+		if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+			out[key] = nil
+			continue
+		}
+		v, err := p.parseBlock(p.lines[p.pos].indent)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = v
+	}
+	return out, nil
+}
+
+// isMappingStart reports whether a sequence item's inline text begins a
+// mapping entry ("key: value" or "key:").
+func isMappingStart(s string) bool {
+	_, _, ok := splitKey(s)
+	return ok
+}
+
+// splitKey splits "key: value" (or "key:") into key and trimmed value.
+// Keys are plain scalars: no quotes, no colons.
+func splitKey(s string) (key, value string, ok bool) {
+	i := strings.Index(s, ":")
+	if i <= 0 {
+		return "", "", false
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return "", "", false // "a:b" is a scalar, not a mapping
+	}
+	key = strings.TrimSpace(s[:i])
+	if key == "" || strings.ContainsAny(key, "\"'{}[],") {
+		return "", "", false
+	}
+	return key, strings.TrimSpace(s[i+1:]), true
+}
+
+// parseScalar interprets an unquoted or quoted scalar.
+func parseScalar(s string) any {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	switch s {
+	case "true", "True":
+		return true
+	case "false", "False":
+		return false
+	case "null", "~":
+		return nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}

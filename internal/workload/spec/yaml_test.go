@@ -1,0 +1,184 @@
+package spec
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestYAMLJSONEquivalence: the worked example from docs/WORKLOADS.md in
+// both syntaxes must parse to identical canonical bytes.
+func TestYAMLJSONEquivalence(t *testing.T) {
+	yamlSrc := []byte(`
+# A two-phase service: streaming scan, then pointer-heavy serving.
+name: svc.example
+about: "scan then serve"
+phases:
+  - name: scan
+    ops: 50000
+    clients:
+      - name: stream
+        lane: 0
+        weight: 3.5
+        pattern:
+          kind: stride
+          footprint_kb: 4096
+          strides:
+            - bytes: 64
+              weight: 9
+            - bytes: -128   # occasional back-step
+  - name: serve
+    ops: 50000
+    clients:
+      - name: pointer
+        lane: 0
+        burst_on: 4
+        burst_off: 16
+        pattern:
+          kind: chase
+          footprint_kb: 2048
+          run_blocks: 2
+`)
+	jsonSrc := []byte(`{
+		"name": "svc.example",
+		"about": "scan then serve",
+		"phases": [
+			{"name": "scan", "ops": 50000, "clients": [
+				{"name": "stream", "lane": 0, "weight": 3.5, "pattern": {
+					"kind": "stride", "footprint_kb": 4096,
+					"strides": [{"bytes": 64, "weight": 9}, {"bytes": -128}]
+				}}
+			]},
+			{"name": "serve", "ops": 50000, "clients": [
+				{"name": "pointer", "lane": 0, "burst_on": 4, "burst_off": 16, "pattern": {
+					"kind": "chase", "footprint_kb": 2048, "run_blocks": 2
+				}}
+			]}
+		]
+	}`)
+	fromYAML, err := Parse(yamlSrc)
+	if err != nil {
+		t.Fatalf("yaml parse: %v", err)
+	}
+	fromJSON, err := Parse(jsonSrc)
+	if err != nil {
+		t.Fatalf("json parse: %v", err)
+	}
+	a, err := fromYAML.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fromJSON.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical forms differ:\nyaml: %s\njson: %s", a, b)
+	}
+}
+
+func TestYAMLValues(t *testing.T) {
+	v, err := yamlToValue([]byte(`
+str: plain
+quoted: "a: b # not a comment"
+single: 'x'
+int: -42
+float: 2.5
+yes: true
+no: False
+nil: null
+tilde: ~
+list:
+  - 1
+  - two
+  - true
+nested:
+  inner: 3
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"str":    "plain",
+		"quoted": "a: b # not a comment",
+		"single": "x",
+		"int":    int64(-42),
+		"float":  2.5,
+		"yes":    true,
+		"no":     false,
+		"nil":    nil,
+		"tilde":  nil,
+		"list":   []any{int64(1), "two", true},
+		"nested": map[string]any{"inner": int64(3)},
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("yamlToValue = %#v\nwant %#v", v, want)
+	}
+}
+
+func TestYAMLSequenceOfMaps(t *testing.T) {
+	v, err := yamlToValue([]byte(`
+items:
+  - name: a
+    value: 1
+  - name: b
+    value: 2
+  - plain
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{"items": []any{
+		map[string]any{"name": "a", "value": int64(1)},
+		map[string]any{"name": "b", "value": int64(2)},
+		"plain",
+	}}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("yamlToValue = %#v\nwant %#v", v, want)
+	}
+}
+
+func TestYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"comment only", "# nothing here\n"},
+		{"tab indent", "a:\n\tb: 1\n"},
+		{"duplicate key", "a: 1\na: 2\n"},
+		{"bare scalar line in map", "a: 1\njust-a-scalar\n"},
+		{"dedent confusion", "a:\n    b: 1\n  c: 2\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := yamlToValue([]byte(tc.src)); err == nil {
+				t.Fatalf("expected error for %q", tc.src)
+			}
+		})
+	}
+	// And through Parse: YAML errors must wrap ErrInvalid.
+	if _, err := Parse([]byte("a:\n\tb: 1\n")); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("Parse tab-indent: got %v, want ErrInvalid", err)
+	}
+}
+
+// TestLoadExampleSpec pins the checked-in docs/WORKLOADS.md worked
+// example: it must keep loading, and generating from it must stay
+// deterministic.
+func TestLoadExampleSpec(t *testing.T) {
+	sp, err := Load("testdata/svc.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "svc.mixed" || sp.Lanes() != 1 || len(sp.Phases) != 2 {
+		t.Fatalf("example spec: name=%q lanes=%d phases=%d", sp.Name, sp.Lanes(), len(sp.Phases))
+	}
+	a, b := sp.Source(0, 7), sp.Source(0, 7)
+	for i := 0; i < 50_000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("example spec not deterministic at op %d", i)
+		}
+	}
+}

@@ -15,8 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"fdpsim/internal/cpu"
+	"fdpsim/internal/workload/spec"
 )
 
 // ErrUnknown is the sentinel wrapped by New when asked for a workload
@@ -111,6 +113,19 @@ func (g *gen) store(addr, pc uint64) {
 // PC-indexed prefetchers see stable instruction addresses.
 func pc(site int) uint64 { return 0x400000 + uint64(site)*4 }
 
+// Well-known registry tags. Every workload carries either TagBuiltin (the
+// hand-coded kernels) or TagSpec (declarative specs registered at run
+// time); builtins additionally carry the paper's benchmark-set split.
+const (
+	TagBuiltin = "builtin"
+	// TagMemIntensive marks the paper's 17-benchmark evaluation set.
+	TagMemIntensive = "memintensive"
+	// TagLowPotential marks the remaining 9 benchmarks of Figure 14.
+	TagLowPotential = "lowpotential"
+	// TagSpec marks workloads registered from a declarative WorkloadSpec.
+	TagSpec = "spec"
+)
+
 // Spec describes a registered workload.
 type Spec struct {
 	Name string
@@ -119,20 +134,110 @@ type Spec struct {
 	MemoryIntensive bool
 	// About is a one-line description with the SPEC archetype.
 	About string
-	make  func(seed uint64) cpu.Source
+	// Tags classify the workload for List filtering.
+	Tags []string
+	make func(seed uint64) cpu.Source
 }
 
-var registry []Spec
+// Info is the listing view of a registered workload: the name keyed by
+// sim.Config.Workload, the registry tags, and the one-line description.
+type Info struct {
+	Name  string   `json:"name"`
+	Tags  []string `json:"tags"`
+	About string   `json:"about,omitempty"`
+}
+
+var (
+	regMu    sync.RWMutex
+	registry []Spec
+)
 
 func register(name string, memIntensive bool, about string, make func(seed uint64) cpu.Source) {
-	registry = append(registry, Spec{Name: name, MemoryIntensive: memIntensive, About: about, make: make})
+	tags := []string{TagBuiltin, TagLowPotential}
+	if memIntensive {
+		tags = []string{TagBuiltin, TagMemIntensive}
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry = append(registry, Spec{Name: name, MemoryIntensive: memIntensive, About: about, Tags: tags, make: make})
 }
 
-// Names returns all workload names, memory-intensive first, each group
-// alphabetical.
+// RegisterSpec makes a declarative spec runnable by name anywhere a
+// built-in workload is (cfg.Workload = sp.Name), tagged "spec". The
+// registered generator is the spec's lane 0; multi-lane specs attach
+// their remaining lanes through the multicore/SMT spec entry points.
+func RegisterSpec(sp *spec.Spec) error {
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+	if Exists(sp.Name) {
+		return fmt.Errorf("workload: %q is already registered", sp.Name)
+	}
+	s := *sp // copy: the registry must not alias caller-owned memory
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry = append(registry, Spec{
+		Name:  s.Name,
+		About: s.About,
+		Tags:  []string{TagSpec},
+		make:  func(seed uint64) cpu.Source { return s.Source(0, seed) },
+	})
+	return nil
+}
+
+// unregister removes a workload by name; tests use it to restore the
+// registry after exercising RegisterSpec.
+func unregister(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for i, s := range registry {
+		if s.Name == name {
+			registry = append(registry[:i], registry[i+1:]...)
+			return
+		}
+	}
+}
+
+// List returns the workloads carrying every one of the given tags (all
+// workloads when none are given), sorted by name. This is the one
+// listing entry point; Names, MemoryIntensive and LowPotential are
+// derived views kept for compatibility.
+func List(tags ...string) []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var out []Info
+	for _, s := range registry {
+		if !hasAll(s.Tags, tags) {
+			continue
+		}
+		out = append(out, Info{Name: s.Name, Tags: append([]string(nil), s.Tags...), About: s.About})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func hasAll(have, want []string) bool {
+	for _, w := range want {
+		found := false
+		for _, h := range have {
+			if h == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Names returns all workload names, memory-intensive first, the rest
+// (low-potential builtins, then registered specs) alphabetical after.
 func Names() []string {
-	out := make([]string, 0, len(registry))
-	for _, s := range specsSorted() {
+	specs := specsSorted()
+	out := make([]string, 0, len(specs))
+	for _, s := range specs {
 		out = append(out, s.Name)
 	}
 	return out
@@ -141,10 +246,8 @@ func Names() []string {
 // MemoryIntensive returns the paper's 17-benchmark evaluation set.
 func MemoryIntensive() []string {
 	var out []string
-	for _, s := range specsSorted() {
-		if s.MemoryIntensive {
-			out = append(out, s.Name)
-		}
+	for _, i := range List(TagMemIntensive) {
+		out = append(out, i.Name)
 	}
 	return out
 }
@@ -152,17 +255,17 @@ func MemoryIntensive() []string {
 // LowPotential returns the remaining 9 benchmarks (Figure 14).
 func LowPotential() []string {
 	var out []string
-	for _, s := range specsSorted() {
-		if !s.MemoryIntensive {
-			out = append(out, s.Name)
-		}
+	for _, i := range List(TagLowPotential) {
+		out = append(out, i.Name)
 	}
 	return out
 }
 
 func specsSorted() []Spec {
+	regMu.RLock()
 	specs := make([]Spec, len(registry))
 	copy(specs, registry)
+	regMu.RUnlock()
 	sort.Slice(specs, func(i, j int) bool {
 		if specs[i].MemoryIntensive != specs[j].MemoryIntensive {
 			return specs[i].MemoryIntensive
@@ -174,6 +277,8 @@ func specsSorted() []Spec {
 
 // Lookup returns the spec for a workload name.
 func Lookup(name string) (Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	for _, s := range registry {
 		if s.Name == name {
 			return s, true
