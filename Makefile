@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build build-cmds vet lint test test-short test-race check bench bench-core bench-trace experiments serve fuzz fuzz-smoke clean
+.PHONY: all build build-cmds vet lint test test-short test-race fleet-e2e check bench bench-core bench-trace experiments serve fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -33,9 +33,18 @@ test-short:
 test-race:
 	go test -race ./...
 
-# What CI runs: a full build, vet, and the race-enabled test suite (the
-# progress sinks cross goroutine boundaries, so -race is load-bearing).
-check: build vet test-race
+# The sweep-fabric acceptance smoke: the two-worker fleet e2e (shared
+# store, claim/lease/steal coordination, exactly-once execution) and the
+# 18-cell sweep e2e, under the race detector. test-race covers both too;
+# -count=1 here defeats the test cache so `make check` always exercises
+# the cross-process claim protocol for real.
+fleet-e2e:
+	go test -race -count=1 -run 'TestFleetTwoWorkers|TestSweepEndToEnd' ./internal/service
+
+# What CI runs: a full build, vet, the race-enabled test suite (the
+# progress sinks cross goroutine boundaries, so -race is load-bearing),
+# and the uncached fleet/sweep e2e smoke.
+check: build vet test-race fleet-e2e
 
 # One benchmark per paper table/figure (see bench_test.go).
 bench:

@@ -17,8 +17,17 @@
 //	GET    /v1/jobs/{id}/events per-FDP-interval progress via SSE
 //	GET    /v1/jobs/{id}/trace  FDP decision trace (JSONL; ?format=chrome)
 //	DELETE /v1/jobs/{id}        cancel (running jobs keep partial results)
+//	POST   /v1/sweeps           submit a parameter grid (docs/SWEEPS.md)
+//	GET    /v1/sweeps/{id}/events aggregate sweep progress via SSE
+//	GET    /v1/sweeps/{id}/results merged results (?format=text for tables)
 //	GET    /metrics             Prometheus text metrics
 //	GET    /healthz             liveness (503 while draining)
+//
+// Multi-tenant fair scheduling: -tenant name:weight[:maxrunning[:maxqueued]]
+// registers scheduler tenants (repeatable); -strict-tenants closes the
+// roster. Worker fleets: several fdpserved processes sharing one
+// -cache-dir coordinate via -fleet-worker names and -lease claim leases so
+// each configuration is simulated once fleet-wide (docs/SWEEPS.md).
 //
 // Logs are structured (log/slog): -log-format selects text or json,
 // -log-level the floor (HTTP scrape endpoints log at debug). -pprof-addr
@@ -36,12 +45,15 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,6 +61,37 @@ import (
 	"fdpsim/internal/service"
 	"fdpsim/internal/store"
 )
+
+// tenantFlags collects repeated -tenant flags into a scheduler roster.
+// Each value is "name:weight[:maxrunning[:maxqueued]]"; weight alone is
+// enough for plain fair-sharing.
+type tenantFlags map[string]service.TenantConfig
+
+func (t tenantFlags) String() string {
+	parts := make([]string, 0, len(t))
+	for name, cfg := range t {
+		parts = append(parts, fmt.Sprintf("%s:%d:%d:%d", name, cfg.Weight, cfg.MaxRunning, cfg.MaxQueued))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t tenantFlags) Set(v string) error {
+	fields := strings.Split(v, ":")
+	if fields[0] == "" || len(fields) > 4 {
+		return fmt.Errorf("want name:weight[:maxrunning[:maxqueued]], got %q", v)
+	}
+	var cfg service.TenantConfig
+	nums := []*int{&cfg.Weight, &cfg.MaxRunning, &cfg.MaxQueued}
+	for i, f := range fields[1:] {
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad number %q in %q", f, v)
+		}
+		*nums[i] = n
+	}
+	t[fields[0]] = cfg
+	return nil
+}
 
 // newLogger builds the process logger from the -log-format/-log-level
 // flags; unknown values are usage errors (exit 2).
@@ -102,7 +145,14 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; bind to loopback)")
 		version    = flag.Bool("version", false, "print build information and exit")
+
+		strictTenants = flag.Bool("strict-tenants", false, "reject jobs and sweeps naming a tenant outside the -tenant roster")
+		fleetWorker   = flag.String("fleet-worker", "", "worker name in a shared-store fleet (empty = standalone; requires -cache-dir)")
+		lease         = flag.Duration("lease", 30*time.Second, "fleet claim lease; expired leases are stolen by live workers")
+		claimAttempts = flag.Int("claim-attempts", 0, "bounded retries on a held fleet claim before executing locally (0 = default 32)")
 	)
+	tenants := tenantFlags{}
+	flag.Var(tenants, "tenant", "register a scheduler tenant as name:weight[:maxrunning[:maxqueued]] (repeatable)")
 	flag.Parse()
 
 	if *version {
@@ -114,16 +164,24 @@ func main() {
 	logger.Info("starting", "version", cli.Version("fdpserved"))
 
 	cfg := service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
-		Logger:     logger,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		JobTimeout:    *jobTimeout,
+		Logger:        logger,
+		Tenants:       tenants,
+		StrictTenants: *strictTenants,
+		FleetWorker:   *fleetWorker,
+		LeaseTTL:      *lease,
+		ClaimAttempts: *claimAttempts,
 	}
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir)
 		cli.FatalIf("fdpserved", err)
 		cfg.Store = st
 		logger.Info("result store opened", "dir", st.Dir(), "entries", st.Len())
+	}
+	if *fleetWorker != "" && *cacheDir == "" {
+		cli.Fatalf("fdpserved", cli.ExitUsage, "-fleet-worker requires -cache-dir (the fleet coordinates through the shared store)")
 	}
 	srv := service.New(cfg)
 

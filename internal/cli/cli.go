@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"fdpsim/internal/sim"
+	"fdpsim/internal/sweep"
 	"fdpsim/internal/workload/spec"
 )
 
@@ -43,7 +44,9 @@ func ExitCode(err error) int {
 	case errors.Is(err, sim.ErrCancelled):
 		return ExitInterrupted
 	case errors.Is(err, sim.ErrUnknownWorkload), errors.Is(err, sim.ErrInvalidConfig),
-		errors.Is(err, spec.ErrInvalid):
+		errors.Is(err, spec.ErrInvalid), errors.Is(err, sweep.ErrInvalid):
+		// sweep.ErrInvalid covers sweep-grid validation — a bad axis, an
+		// empty grid, an unknown tenant (sweep.ErrUnknownTenant wraps it).
 		return ExitUsage
 	default:
 		return ExitError

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"fdpsim/internal/sim"
+	"fdpsim/internal/sweep"
+	"fdpsim/internal/workload/spec"
 )
 
 func TestExitCodeTable(t *testing.T) {
@@ -24,6 +26,9 @@ func TestExitCodeTable(t *testing.T) {
 		{"wrapped cancel", fmt.Errorf("outer: %w", cancelErr), ExitInterrupted},
 		{"unknown workload", fmt.Errorf("x: %w", sim.ErrUnknownWorkload), ExitUsage},
 		{"invalid config", fmt.Errorf("x: %w", sim.ErrInvalidConfig), ExitUsage},
+		{"invalid spec", fmt.Errorf("x: %w", spec.ErrInvalid), ExitUsage},
+		{"invalid sweep grid", fmt.Errorf("x: %w", sweep.ErrInvalid), ExitUsage},
+		{"unknown sweep tenant", fmt.Errorf("x: %w", sweep.ErrUnknownTenant), ExitUsage},
 		{"other", errors.New("disk on fire"), ExitError},
 	}
 	for _, c := range cases {

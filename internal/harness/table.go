@@ -59,6 +59,16 @@ func (t *Table) Render(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
+// String renders the table as aligned text — the same output Render
+// writes, as a value. Shared by the experiments CLI and the sweep
+// service's merged-results endpoint, so both surfaces produce identical
+// tables.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
 // RenderCSV writes the table in RFC-4180 CSV: a comment-style title row,
 // the header, then the data rows — machine-readable output for plotting.
 func (t *Table) RenderCSV(w io.Writer) error {

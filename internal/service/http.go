@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"sort"
 	"strconv"
@@ -12,6 +13,7 @@ import (
 
 	"fdpsim/internal/obs"
 	"fdpsim/internal/sim"
+	"fdpsim/internal/sweep"
 	"fdpsim/internal/workload/spec"
 )
 
@@ -34,6 +36,21 @@ type JobRequest struct {
 	// Trace makes the job collect its FDP decision trace, downloadable at
 	// GET /v1/jobs/{id}/trace once the job is terminal.
 	Trace bool `json:"trace,omitempty"`
+
+	// Tenant attributes the job to a scheduler tenant for fair queueing
+	// and quotas; empty means the default tenant. Priority orders the job
+	// within the tenant's queue (higher runs sooner).
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+
+	// IdempotencyKey, when set, must equal the configuration fingerprint
+	// the server would compute for this request (the "fingerprint" field
+	// of a prior submission's status). A matching key makes the POST
+	// idempotent: if a job for that fingerprint already exists — queued,
+	// running or finished — it is returned (200) instead of a duplicate
+	// being created. A mismatched key is rejected (409) since it means
+	// the client is retrying a different configuration than it believes.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 
 	// Attribution enables the cycle-accounting and bandwidth-attribution
 	// layer: the job's Result gains the Attribution block, its SSE
@@ -105,15 +122,21 @@ func (r *JobRequest) BuildConfig() sim.Config {
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/jobs             submit (202; 200 on a cache hit; 429 full)
-//	GET    /v1/jobs             list job statuses
-//	GET    /v1/jobs/{id}        poll one job
-//	GET    /v1/jobs/{id}/events SSE per-interval progress
-//	GET    /v1/jobs/{id}/trace  download the FDP decision trace
-//	                            (JSONL; ?format=chrome for Perfetto)
-//	DELETE /v1/jobs/{id}        cancel
-//	GET    /metrics             Prometheus text metrics
-//	GET    /healthz             liveness
+//	POST   /v1/jobs               submit (202; 200 on a cache hit; 429 full)
+//	GET    /v1/jobs               list job statuses (?state=, ?tenant=, ?sweep=)
+//	GET    /v1/jobs/{id}          poll one job
+//	GET    /v1/jobs/{id}/events   SSE per-interval progress
+//	GET    /v1/jobs/{id}/trace    download the FDP decision trace
+//	                              (JSONL; ?format=chrome for Perfetto)
+//	DELETE /v1/jobs/{id}          cancel
+//	POST   /v1/sweeps             submit a parameter grid (202; 400 invalid)
+//	GET    /v1/sweeps             list sweep statuses
+//	GET    /v1/sweeps/{id}        poll one sweep (aggregate summary + ETA)
+//	GET    /v1/sweeps/{id}/events SSE aggregate progress (counts, ETA, means)
+//	GET    /v1/sweeps/{id}/results merged results (JSON; ?format=text for tables)
+//	DELETE /v1/sweeps/{id}        cancel every non-terminal cell
+//	GET    /metrics               Prometheus text metrics
+//	GET    /healthz               liveness
 //
 // Every route runs behind the observability middleware: request-duration
 // metrics plus one structured log line per request with a request ID.
@@ -125,6 +148,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s.withObservability(mux)
@@ -155,6 +184,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job request: %v", err)
 		return
 	}
+	cfg := req.BuildConfig()
+
+	// Idempotent retries: a client that saw a submission's fingerprint but
+	// lost the response echoes it back; an existing job for it — in any
+	// state — answers the retry instead of a duplicate being created.
+	if req.IdempotencyKey != "" {
+		if fp, ok := fingerprintRequest(cfg, req.Spec); ok && fp != req.IdempotencyKey {
+			writeError(w, http.StatusConflict,
+				"idempotency key %s does not match this request's fingerprint %s",
+				shortFP(req.IdempotencyKey), shortFP(fp))
+			return
+		}
+		if job, ok := s.jobByFingerprint(req.IdempotencyKey); ok {
+			writeJSON(w, http.StatusOK, job.Status())
+			return
+		}
+	}
+
 	var opts []SubmitOption
 	if req.Trace {
 		opts = append(opts, WithDecisionTrace())
@@ -162,7 +209,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Spec != nil {
 		opts = append(opts, WithWorkloadSpec(req.Spec))
 	}
-	job, err := s.Submit(req.BuildConfig(), opts...)
+	if req.Tenant != "" {
+		opts = append(opts, WithTenant(req.Tenant))
+	}
+	if req.Priority != 0 {
+		opts = append(opts, WithPriority(req.Priority))
+	}
+	job, err := s.Submit(cfg, opts...)
 	switch {
 	case err == nil:
 		st := job.Status()
@@ -174,24 +227,72 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, st)
 	case errors.Is(err, ErrQueueFull):
 		// Backpressure: one worker will free up within roughly a run
-		// length; clients should retry with jitter.
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-		writeError(w, http.StatusTooManyRequests, "%v (retry after %ds)", err, retryAfterSeconds)
+		// length. The Retry-After hint is jittered so a herd of clients
+		// that hit the full queue together does not retry in lockstep.
+		retry := retryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests, "%v (retry after %ds)", err, retry)
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
-	default: // validation
+	default: // validation (including sweep.ErrUnknownTenant)
 		writeError(w, http.StatusBadRequest, "%v", err)
 	}
 }
 
-// retryAfterSeconds is the backoff hint sent with 429 responses.
-const retryAfterSeconds = 1
+// retryAfterSeconds is the backoff hint sent with 429 responses: a 1–3s
+// jittered window rather than a fixed constant.
+func retryAfterSeconds() int { return 1 + rand.IntN(3) }
+
+// fingerprintRequest computes the fingerprint Submit would assign,
+// for idempotency-key verification. ok is false for configurations the
+// fingerprint machinery rejects — Submit then reports the real error.
+func fingerprintRequest(cfg sim.Config, sp *spec.Spec) (string, bool) {
+	if sp != nil {
+		cfg.Workload = sp.Name
+		return sim.FingerprintSpec(cfg, sp)
+	}
+	return sim.Fingerprint(cfg)
+}
+
+// jobByFingerprint finds the most recent job for a fingerprint.
+func (s *Server) jobByFingerprint(fp string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *Job
+	for _, j := range s.jobs {
+		if j.fp == fp && (best == nil || j.submittedAt.After(best.submittedAt)) {
+			best = j
+		}
+	}
+	return best, best != nil
+}
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	stateFilter := q.Get("state")
+	switch JobState(stateFilter) {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+	default:
+		writeError(w, http.StatusBadRequest,
+			"unknown state %q (want queued, running, done, failed or cancelled)", stateFilter)
+		return
+	}
+	tenantFilter := q.Get("tenant")
+	sweepFilter := q.Get("sweep")
+
 	jobs := s.Jobs()
 	statuses := make([]JobStatus, 0, len(jobs))
 	for _, j := range jobs {
 		st := j.Status()
+		if stateFilter != "" && st.State != JobState(stateFilter) {
+			continue
+		}
+		if tenantFilter != "" && st.Tenant != tenantFilter {
+			continue
+		}
+		if sweepFilter != "" && st.Sweep != sweepFilter {
+			continue
+		}
 		st.Result = nil // keep the listing small; poll the job for metrics
 		statuses = append(statuses, st)
 	}
@@ -323,9 +424,131 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleSweepSubmit admits a parameter grid: expansion and validation
+// happen synchronously (400 on a bad grid), execution is asynchronous.
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var req sweep.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid sweep request: %v", err)
+		return
+	}
+	sw, err := s.SubmitSweep(req)
+	switch {
+	case err == nil:
+		w.Header().Set("Location", "/v1/sweeps/"+sw.ID())
+		writeJSON(w, http.StatusAccepted, sw.Status())
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default: // sweep.ErrInvalid (incl. ErrUnknownTenant) or validation
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	sweeps := s.Sweeps()
+	statuses := make([]SweepStatus, 0, len(sweeps))
+	for _, sw := range sweeps {
+		statuses = append(statuses, sw.Status())
+	}
+	sort.Slice(statuses, func(i, k int) bool {
+		return statuses[i].CreatedAt.Before(statuses[k].CreatedAt)
+	})
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.Sweep(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sw.Status())
+}
+
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	sw, err := s.CancelSweep(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sw.Status())
+}
+
+// sweepResults is the JSON body of GET /v1/sweeps/{id}/results.
+type sweepResults struct {
+	SweepStatus
+	Cells []sweep.Cell `json:"results"`
+}
+
+// handleSweepResults serves the merged results table: the full cell grid
+// as JSON, or the harness-style aligned text tables with ?format=text.
+// Partial sweeps render too — pending cells as "-", failed as "x".
+func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.Sweep(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, sweepResults{SweepStatus: sw.Status(), Cells: sw.Cells()})
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		for _, t := range sw.Tables() {
+			t.Render(w)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown results format %q (want json or text)", format)
+	}
+}
+
+// handleSweepEvents streams the sweep's aggregate as SSE "summary"
+// events — one frame per completed cell with counts, rolling IPC/BPKI
+// means and an ETA — ending with one "done" event carrying the final
+// status. Subscribing to a finished sweep yields "done" immediately.
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.Sweep(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	id, ch := sw.subscribe()
+	defer sw.unsubscribe(id)
+
+	if err := sseEvent(w, fl, "summary", sw.event()); err != nil {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			if err := sseEvent(w, fl, "summary", ev); err != nil {
+				return
+			}
+		case <-sw.Done():
+			sseEvent(w, fl, "done", sw.Status()) //nolint:errcheck
+			return
+		}
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.m.render(w, len(s.queue), time.Since(s.started), s.dccDistribution())
+	s.m.render(w, s.sched.depthUsed(), time.Since(s.started), s.dccDistribution(),
+		s.sched.snapshot(), s.activeSweeps())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

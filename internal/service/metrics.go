@@ -28,6 +28,18 @@ type metrics struct {
 
 	running atomic.Int64 // gauge: simulations executing right now
 
+	executions atomic.Uint64 // simulations actually executed by this process
+
+	// Fleet coordination (multi-process shared store).
+	fleetAdopted   atomic.Uint64 // jobs finished by adopting another worker's stored result
+	claimsAcquired atomic.Uint64 // fingerprint claims won (fresh or stolen)
+	claimsStolen   atomic.Uint64 // claims won by stealing an expired lease
+	claimsWaited   atomic.Uint64 // held-claim observations (backoff waits)
+
+	// Sweep fabric.
+	sweepsSubmitted atomic.Uint64 // sweeps admitted via POST /v1/sweeps
+	sweepCells      atomic.Uint64 // grid cells expanded across admitted sweeps
+
 	simCycles atomic.Uint64 // simulated cycles across completed runs
 	simNanos  atomic.Uint64 // wall-clock nanoseconds across completed runs
 
@@ -181,7 +193,7 @@ func renderHistogram(w io.Writer, h *histogram, name, help string) {
 // live queue length, owned by the Server); dccLevels is the distribution
 // of Dynamic Configuration Counter levels across currently running jobs
 // (index = level 1..5; index 0 unused), likewise sampled by the caller.
-func (m *metrics) render(w io.Writer, queued int, uptime time.Duration, dccLevels [6]int) {
+func (m *metrics) render(w io.Writer, queued int, uptime time.Duration, dccLevels [6]int, tenants []TenantSnapshot, sweepsActive int) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP fdpserved_%s %s\n# TYPE fdpserved_%s counter\nfdpserved_%s %d\n", name, help, name, name, v)
 	}
@@ -234,6 +246,37 @@ func (m *metrics) render(w io.Writer, queued int, uptime time.Duration, dccLevel
 	fmt.Fprintf(w, "# TYPE fdpserved_dcc_level_jobs gauge\n")
 	for level := 1; level <= 5; level++ {
 		fmt.Fprintf(w, "fdpserved_dcc_level_jobs{level=\"%d\"} %d\n", level, dccLevels[level])
+	}
+
+	counter("executions_total", "Simulations actually executed by this process (cache hits and fleet-adopted results excluded).", m.executions.Load())
+	counter("fleet_results_adopted_total", "Jobs finished by adopting a result another fleet worker stored.", m.fleetAdopted.Load())
+	counter("fleet_claims_acquired_total", "Fingerprint claims this worker won (fresh or stolen).", m.claimsAcquired.Load())
+	counter("fleet_claims_stolen_total", "Claims won by stealing an expired lease from a dead worker.", m.claimsStolen.Load())
+	counter("fleet_claim_waits_total", "Backoff waits on a claim held live by another worker.", m.claimsWaited.Load())
+
+	// Sweep families keep the sim_sweep_* naming the sweep fabric is
+	// documented under (docs/SWEEPS.md) rather than the fdpserved_ prefix.
+	fmt.Fprintf(w, "# HELP sim_sweep_submitted_total Sweeps admitted via POST /v1/sweeps.\n# TYPE sim_sweep_submitted_total counter\nsim_sweep_submitted_total %d\n", m.sweepsSubmitted.Load())
+	fmt.Fprintf(w, "# HELP sim_sweep_cells_total Grid cells expanded across admitted sweeps.\n# TYPE sim_sweep_cells_total counter\nsim_sweep_cells_total %d\n", m.sweepCells.Load())
+	fmt.Fprintf(w, "# HELP sim_sweep_active Sweeps with cells not yet in a terminal state.\n# TYPE sim_sweep_active gauge\nsim_sweep_active %d\n", sweepsActive)
+
+	if len(tenants) > 0 {
+		fmt.Fprintf(w, "# HELP fdpserved_tenant_queued Jobs waiting in each tenant's queue.\n# TYPE fdpserved_tenant_queued gauge\n")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "fdpserved_tenant_queued{tenant=%q} %d\n", t.Name, t.Queued)
+		}
+		fmt.Fprintf(w, "# HELP fdpserved_tenant_running Jobs each tenant has running right now.\n# TYPE fdpserved_tenant_running gauge\n")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "fdpserved_tenant_running{tenant=%q} %d\n", t.Name, t.Running)
+		}
+		fmt.Fprintf(w, "# HELP fdpserved_tenant_weight Fair-share weight in the smooth weighted round-robin scheduler.\n# TYPE fdpserved_tenant_weight gauge\n")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "fdpserved_tenant_weight{tenant=%q} %d\n", t.Name, t.Weight)
+		}
+		fmt.Fprintf(w, "# HELP fdpserved_tenant_jobs_popped_total Jobs handed to workers, per tenant.\n# TYPE fdpserved_tenant_jobs_popped_total counter\n")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "fdpserved_tenant_jobs_popped_total{tenant=%q} %d\n", t.Name, t.Popped)
+		}
 	}
 
 	counter("traces_collected_total", "Jobs that collected an FDP decision trace.", m.traces.Load())

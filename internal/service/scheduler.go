@@ -1,0 +1,298 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"fdpsim/internal/sweep"
+)
+
+// TenantConfig declares one scheduler tenant: its share of the worker
+// pool and its admission quotas.
+type TenantConfig struct {
+	// Weight is the tenant's share of worker pops relative to the other
+	// tenants with runnable work (smooth weighted round-robin). 0 means 1.
+	Weight int
+	// MaxRunning caps the tenant's concurrently running jobs; further work
+	// stays queued until a slot frees. 0 means unlimited.
+	MaxRunning int
+	// MaxQueued caps the tenant's directly submitted queued jobs; beyond
+	// it POST /v1/jobs answers 429. Sweep jobs bypass this quota — a sweep
+	// is admitted whole (bounded by sweep.MaxJobs) and fairness, not
+	// admission, spreads its load. 0 means unlimited (the global
+	// QueueDepth still applies to direct submissions).
+	MaxQueued int
+}
+
+// defaultTenant is the tenant unattributed submissions run under. It is
+// always registered, even under a strict roster.
+const defaultTenant = "default"
+
+// tenantState is one tenant's live scheduling state. Guarded by fairQueue.mu.
+type tenantState struct {
+	name       string
+	weight     int
+	maxRunning int
+	maxQueued  int
+
+	credit  int    // smooth-WRR credit
+	queue   []*Job // priority-ordered, FIFO within a priority
+	running int
+	popped  uint64 // jobs handed to workers, cumulative
+}
+
+// TenantSnapshot is one tenant's state as exported to metrics and tests.
+type TenantSnapshot struct {
+	Name    string
+	Weight  int
+	Queued  int
+	Running int
+	Popped  uint64
+}
+
+// fairQueue replaces the service's bare FIFO channel with a per-tenant
+// fair scheduler: each tenant keeps its own priority-ordered queue, and
+// workers pop via smooth weighted round-robin (the nginx credit scheme)
+// over the tenants that have runnable work — so a 4096-job sweep from one
+// tenant cannot starve another tenant's interactive single jobs, and a
+// 10:1 weight split yields a 10:1 pop split while both tenants are busy.
+//
+// Selection is deterministic: credits make the interleaving a pure
+// function of the push/pop sequence, which keeps the fairness tests exact
+// rather than statistical.
+type fairQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	depth  int  // global bound on directly submitted queued jobs
+	strict bool // roster-only tenancy: unknown tenants are rejected
+	closed bool
+
+	tenants map[string]*tenantState
+	order   []string // registration order, for stable iteration
+	queued  int      // total queued across tenants
+}
+
+func newFairQueue(depth int, strict bool, roster map[string]TenantConfig) *fairQueue {
+	q := &fairQueue{
+		depth:   depth,
+		strict:  strict,
+		tenants: make(map[string]*tenantState),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	q.register(defaultTenant, TenantConfig{})
+	for name, cfg := range roster {
+		q.register(name, cfg)
+	}
+	return q
+}
+
+// register adds or reconfigures a tenant. Safe to call concurrently with
+// scheduling; quota changes apply to subsequent decisions.
+func (q *fairQueue) register(name string, cfg TenantConfig) {
+	if name == "" {
+		name = defaultTenant
+	}
+	if cfg.Weight <= 0 {
+		cfg.Weight = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ts, ok := q.tenants[name]
+	if !ok {
+		ts = &tenantState{name: name}
+		q.tenants[name] = ts
+		q.order = append(q.order, name)
+	}
+	ts.weight = cfg.Weight
+	ts.maxRunning = cfg.MaxRunning
+	ts.maxQueued = cfg.MaxQueued
+	q.cond.Broadcast()
+}
+
+// lookupLocked resolves a tenant name, auto-registering it at weight 1
+// under open tenancy and rejecting it under a strict roster.
+func (q *fairQueue) lookupLocked(name string) (*tenantState, error) {
+	if name == "" {
+		name = defaultTenant
+	}
+	if ts, ok := q.tenants[name]; ok {
+		return ts, nil
+	}
+	if q.strict {
+		return nil, fmt.Errorf("%w %q", sweep.ErrUnknownTenant, name)
+	}
+	ts := &tenantState{name: name, weight: 1}
+	q.tenants[name] = ts
+	q.order = append(q.order, name)
+	return ts, nil
+}
+
+// validateTenant reports whether name is admissible, without registering
+// it under a strict roster. Used to reject a whole sweep up front.
+func (q *fairQueue) validateTenant(name string) error {
+	if name == "" {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, ok := q.tenants[name]
+	if !ok && q.strict {
+		return fmt.Errorf("%w %q", sweep.ErrUnknownTenant, name)
+	}
+	return nil
+}
+
+// push enqueues a job under its tenant, ordered by priority (higher
+// first, FIFO within a priority). Direct submissions are bounded by the
+// global depth and the tenant's MaxQueued quota; sweep jobs set
+// bypassQuota — their admission bound is sweep.MaxJobs at expansion.
+func (q *fairQueue) push(j *Job, bypassQuota bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrShuttingDown
+	}
+	ts, err := q.lookupLocked(j.tenant)
+	if err != nil {
+		return err
+	}
+	if !bypassQuota {
+		if q.queued >= q.depth {
+			return ErrQueueFull
+		}
+		if ts.maxQueued > 0 && len(ts.queue) >= ts.maxQueued {
+			return fmt.Errorf("%w (tenant %q at queued quota %d)", ErrQueueFull, ts.name, ts.maxQueued)
+		}
+	}
+	i := len(ts.queue)
+	for i > 0 && ts.queue[i-1].priority < j.priority {
+		i--
+	}
+	ts.queue = append(ts.queue, nil)
+	copy(ts.queue[i+1:], ts.queue[i:])
+	ts.queue[i] = j
+	q.queued++
+	q.cond.Signal()
+	return nil
+}
+
+// selectLocked runs one round of smooth weighted round-robin over the
+// tenants with runnable work: every eligible tenant earns its weight in
+// credit, the richest tenant wins and pays the total eligible weight
+// back. After close, running quotas are ignored so the queue drains.
+func (q *fairQueue) selectLocked() *tenantState {
+	var eligible []*tenantState
+	total := 0
+	for _, name := range q.order {
+		ts := q.tenants[name]
+		if len(ts.queue) == 0 {
+			continue
+		}
+		if !q.closed && ts.maxRunning > 0 && ts.running >= ts.maxRunning {
+			continue
+		}
+		eligible = append(eligible, ts)
+		total += ts.weight
+	}
+	if len(eligible) == 0 {
+		return nil
+	}
+	best := eligible[0]
+	for _, ts := range eligible {
+		ts.credit += ts.weight
+		if ts.credit > best.credit {
+			best = ts
+		}
+	}
+	best.credit -= total
+	return best
+}
+
+// tryPop pops the next job without blocking. ok is false when no tenant
+// has runnable work right now.
+func (q *fairQueue) tryPop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.popLocked()
+}
+
+func (q *fairQueue) popLocked() (*Job, bool) {
+	ts := q.selectLocked()
+	if ts == nil {
+		return nil, false
+	}
+	j := ts.queue[0]
+	copy(ts.queue, ts.queue[1:])
+	ts.queue[len(ts.queue)-1] = nil
+	ts.queue = ts.queue[:len(ts.queue)-1]
+	q.queued--
+	ts.running++
+	ts.popped++
+	return j, true
+}
+
+// pop blocks until a job is runnable or the queue is closed and drained.
+// The caller owns a running slot on the job's tenant until it calls
+// release — including for jobs that turn out to be cancelled.
+func (q *fairQueue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if j, ok := q.popLocked(); ok {
+			return j, true
+		}
+		if q.closed && q.queued == 0 {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// release returns a running slot to the job's tenant and wakes poppers
+// that may have been blocked on its MaxRunning quota.
+func (q *fairQueue) release(tenant string) {
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	q.mu.Lock()
+	if ts, ok := q.tenants[tenant]; ok && ts.running > 0 {
+		ts.running--
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// close stops intake and wakes every blocked popper; remaining queued
+// jobs drain (quota-free) and then pop reports done.
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// depthUsed returns the total queued job count.
+func (q *fairQueue) depthUsed() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
+
+// snapshot exports per-tenant state for metrics and tests, in
+// registration order.
+func (q *fairQueue) snapshot() []TenantSnapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]TenantSnapshot, 0, len(q.order))
+	for _, name := range q.order {
+		ts := q.tenants[name]
+		out = append(out, TenantSnapshot{
+			Name:    ts.name,
+			Weight:  ts.weight,
+			Queued:  len(ts.queue),
+			Running: ts.running,
+			Popped:  ts.popped,
+		})
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"fdpsim/internal/sweep"
+)
+
+func qjob(tenant string, priority int, id string) *Job {
+	return &Job{id: id, tenant: tenant, priority: priority, state: StateQueued}
+}
+
+// TestFairQueueWeightedRatio checks the acceptance criterion directly: a
+// 10:1 weight split yields a 10:1 pop split while both tenants have
+// work. Smooth WRR is deterministic, so the ratio is exact, well within
+// the required 20%.
+func TestFairQueueWeightedRatio(t *testing.T) {
+	q := newFairQueue(1024, false, map[string]TenantConfig{
+		"heavy": {Weight: 10},
+		"light": {Weight: 1},
+	})
+	for i := 0; i < 100; i++ {
+		if err := q.push(qjob("heavy", 0, fmt.Sprintf("h%d", i)), true); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.push(qjob("light", 0, fmt.Sprintf("l%d", i)), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := map[string]int{}
+	for i := 0; i < 110; i++ {
+		j, ok := q.tryPop()
+		if !ok {
+			t.Fatalf("pop %d: queue empty early", i)
+		}
+		counts[j.tenant]++
+		q.release(j.tenant)
+	}
+	ratio := float64(counts["heavy"]) / float64(counts["light"])
+	if ratio < 8 || ratio > 12 { // 10 ± 20%
+		t.Fatalf("pop split heavy=%d light=%d (ratio %.2f), want ~10:1",
+			counts["heavy"], counts["light"], ratio)
+	}
+	// Fairness must also interleave, not batch: the light tenant appears
+	// within the first 11 pops. Verify via per-tenant popped counters.
+	for _, ts := range q.snapshot() {
+		switch ts.Name {
+		case "heavy":
+			if ts.Popped != uint64(counts["heavy"]) {
+				t.Fatalf("heavy popped counter %d, want %d", ts.Popped, counts["heavy"])
+			}
+		case "light":
+			if ts.Popped == 0 {
+				t.Fatal("light tenant starved")
+			}
+		}
+	}
+}
+
+// TestFairQueueRunningQuota checks the MaxRunning invariant: a
+// quota-capped tenant never has more jobs running than its cap, and a
+// release opens exactly one slot.
+func TestFairQueueRunningQuota(t *testing.T) {
+	q := newFairQueue(1024, false, map[string]TenantConfig{
+		"capped": {Weight: 1, MaxRunning: 2},
+	})
+	for i := 0; i < 5; i++ {
+		if err := q.push(qjob("capped", 0, fmt.Sprintf("j%d", i)), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := q.tryPop(); !ok {
+		t.Fatal("first pop blocked below quota")
+	}
+	if _, ok := q.tryPop(); !ok {
+		t.Fatal("second pop blocked below quota")
+	}
+	if j, ok := q.tryPop(); ok {
+		t.Fatalf("pop %s exceeded MaxRunning=2", j.id)
+	}
+	q.release("capped")
+	if _, ok := q.tryPop(); !ok {
+		t.Fatal("pop blocked after release opened a slot")
+	}
+	if _, ok := q.tryPop(); ok {
+		t.Fatal("pop exceeded quota after one release")
+	}
+
+	// After close the queue drains regardless of the running quota.
+	q.close()
+	for i := 0; i < 2; i++ {
+		if _, ok := q.tryPop(); !ok {
+			t.Fatalf("drain pop %d blocked after close", i)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop returned a job from a drained closed queue")
+	}
+}
+
+// TestFairQueueQueuedQuota checks admission: per-tenant MaxQueued and the
+// global depth bound direct submissions, and sweep jobs bypass both.
+func TestFairQueueQueuedQuota(t *testing.T) {
+	q := newFairQueue(3, false, map[string]TenantConfig{
+		"small": {Weight: 1, MaxQueued: 2},
+	})
+	if err := q.push(qjob("small", 0, "a"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob("small", 0, "b"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob("small", 0, "c"), false); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("tenant quota breach = %v, want ErrQueueFull", err)
+	}
+	// Another tenant still has global headroom...
+	if err := q.push(qjob("other", 0, "d"), false); err != nil {
+		t.Fatal(err)
+	}
+	// ...until the global depth is reached.
+	if err := q.push(qjob("other", 0, "e"), false); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("global depth breach = %v, want ErrQueueFull", err)
+	}
+	// Sweep jobs bypass both bounds (admission was bounded at expansion).
+	if err := q.push(qjob("small", 0, "f"), true); err != nil {
+		t.Fatalf("sweep push rejected: %v", err)
+	}
+	if got := q.depthUsed(); got != 4 { // a, b, d, f
+		t.Fatalf("depthUsed = %d, want 4", got)
+	}
+}
+
+// TestFairQueueStrictTenancy checks the roster modes: open tenancy
+// auto-registers at weight 1; a strict roster rejects unknown tenants
+// with sweep.ErrUnknownTenant (a usage error: exit code 2, HTTP 400).
+func TestFairQueueStrictTenancy(t *testing.T) {
+	open := newFairQueue(16, false, nil)
+	if err := open.push(qjob("walk-in", 0, "a"), false); err != nil {
+		t.Fatalf("open tenancy rejected a new tenant: %v", err)
+	}
+	found := false
+	for _, ts := range open.snapshot() {
+		if ts.Name == "walk-in" && ts.Weight == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("auto-registered tenant missing from snapshot")
+	}
+
+	strict := newFairQueue(16, true, map[string]TenantConfig{"alice": {Weight: 2}})
+	if err := strict.push(qjob("alice", 0, "a"), false); err != nil {
+		t.Fatalf("rostered tenant rejected: %v", err)
+	}
+	if err := strict.push(qjob("", 0, "b"), false); err != nil {
+		t.Fatalf("default tenant rejected under strict roster: %v", err)
+	}
+	err := strict.push(qjob("mallory", 0, "c"), false)
+	if !errors.Is(err, sweep.ErrUnknownTenant) || !errors.Is(err, sweep.ErrInvalid) {
+		t.Fatalf("unknown tenant error = %v, want sweep.ErrUnknownTenant", err)
+	}
+	if err := strict.validateTenant("mallory"); !errors.Is(err, sweep.ErrUnknownTenant) {
+		t.Fatalf("validateTenant = %v, want sweep.ErrUnknownTenant", err)
+	}
+	if err := strict.validateTenant("alice"); err != nil {
+		t.Fatalf("validateTenant(alice) = %v", err)
+	}
+}
+
+// TestFairQueuePriorityOrder checks within-tenant ordering: higher
+// priority first, FIFO within a priority.
+func TestFairQueuePriorityOrder(t *testing.T) {
+	q := newFairQueue(16, false, nil)
+	for _, j := range []*Job{
+		qjob("t", 0, "p0-first"),
+		qjob("t", 5, "p5-first"),
+		qjob("t", 5, "p5-second"),
+		qjob("t", 1, "p1"),
+	} {
+		if err := q.push(j, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	for {
+		j, ok := q.tryPop()
+		if !ok {
+			break
+		}
+		got = append(got, j.id)
+		q.release(j.tenant)
+	}
+	want := []string{"p5-first", "p5-second", "p1", "p0-first"}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFairQueueBlockingPop checks the sync.Cond handoff: a pop blocked on
+// an empty queue wakes on push, and close unblocks it with ok=false.
+func TestFairQueueBlockingPop(t *testing.T) {
+	q := newFairQueue(16, false, nil)
+	popped := make(chan *Job, 1)
+	go func() {
+		j, ok := q.pop()
+		if !ok {
+			popped <- nil
+			return
+		}
+		popped <- j
+	}()
+	time.Sleep(10 * time.Millisecond) // let the popper block
+	if err := q.push(qjob("t", 0, "wake"), false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case j := <-popped:
+		if j == nil || j.id != "wake" {
+			t.Fatalf("blocked pop returned %v", j)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("push did not wake the blocked popper")
+	}
+
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("close handed the popper a job from an empty queue")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not wake the blocked popper")
+	}
+	if err := q.push(qjob("t", 0, "late"), false); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("push after close = %v, want ErrShuttingDown", err)
+	}
+}

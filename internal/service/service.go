@@ -75,6 +75,30 @@ type Config struct {
 	// job; later intervals are counted as truncated instead of growing the
 	// buffer without bound. 0 means 16384 events (~5 MB of JSONL).
 	TraceLimit int
+
+	// Tenants is the scheduler roster: per-tenant fair-share weights and
+	// quotas. Tenants absent from the roster auto-register at weight 1
+	// unless StrictTenants is set.
+	Tenants map[string]TenantConfig
+	// StrictTenants rejects submissions naming a tenant outside the
+	// roster (sweep.ErrUnknownTenant → HTTP 400) instead of
+	// auto-registering it. The default tenant always exists.
+	StrictTenants bool
+
+	// FleetWorker, when non-empty, names this process in a worker fleet:
+	// multiple fdpserved processes sharing one Store coordinate through
+	// atomic claim files so each fingerprint is simulated once fleet-wide.
+	// Requires Store; ignored without one.
+	FleetWorker string
+	// LeaseTTL is the fleet claim lease. A worker renews its lease while
+	// simulating; a claim past its lease is stolen by the next worker
+	// (the crashed-worker path). 0 means 30s.
+	LeaseTTL time.Duration
+	// ClaimAttempts bounds how many times a worker re-checks a held claim
+	// (with backoff) before falling back to executing locally — execution
+	// is at-least-once, results are exactly-once via the store's atomic
+	// writes. 0 means 32.
+	ClaimAttempts int
 }
 
 // JobState is a job's lifecycle phase.
@@ -106,6 +130,11 @@ type Job struct {
 	// fingerprint is then sim.FingerprintSpec's domain-separated digest, so
 	// spec jobs share the cache machinery without aliasing named jobs.
 	spec *spec.Spec
+	// tenant and priority place the job in the fair scheduler; sweepID
+	// links it to the sweep that expanded it (empty for direct jobs).
+	tenant   string
+	priority int
+	sweepID  string
 
 	mu          sync.Mutex
 	state       JobState
@@ -156,6 +185,9 @@ type JobStatus struct {
 	Workload    string      `json:"workload"`
 	Prefetcher  string      `json:"prefetcher"`
 	Fingerprint string      `json:"fingerprint"`
+	Tenant      string      `json:"tenant"`
+	Priority    int         `json:"priority,omitempty"`
+	Sweep       string      `json:"sweep,omitempty"`
 	CacheHit    bool        `json:"cache_hit"`
 	SubmittedAt time.Time   `json:"submitted_at"`
 	StartedAt   *time.Time  `json:"started_at,omitempty"`
@@ -177,6 +209,9 @@ func (j *Job) Status() JobStatus {
 		Workload:    j.cfg.Workload,
 		Prefetcher:  string(j.cfg.Prefetcher),
 		Fingerprint: j.fp,
+		Tenant:      j.tenant,
+		Priority:    j.priority,
+		Sweep:       j.sweepID,
 		CacheHit:    j.cacheHit,
 		SubmittedAt: j.submittedAt,
 		Error:       j.errMsg,
@@ -247,14 +282,16 @@ type Server struct {
 
 	baseCtx    context.Context
 	baseCancel context.CancelCauseFunc
-	queue      chan *Job
+	sched      *fairQueue
 	wg         sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	memo   map[string]sim.Result
-	nextID uint64
-	closed bool
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	memo      map[string]sim.Result
+	sweeps    map[string]*Sweep
+	nextID    uint64
+	nextSweep uint64
+	closed    bool
 
 	started time.Time
 	reqSeq  atomic.Uint64 // HTTP request IDs for log correlation
@@ -275,6 +312,15 @@ func New(cfg Config) *Server {
 	if cfg.TraceLimit <= 0 {
 		cfg.TraceLimit = defaultTraceLimit
 	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.ClaimAttempts <= 0 {
+		cfg.ClaimAttempts = 32
+	}
+	if cfg.FleetWorker != "" && cfg.Store == nil {
+		cfg.FleetWorker = "" // fleet coordination lives in the store
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -285,9 +331,10 @@ func New(cfg Config) *Server {
 		log:        logger,
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *Job, cfg.QueueDepth),
+		sched:      newFairQueue(cfg.QueueDepth, cfg.StrictTenants, cfg.Tenants),
 		jobs:       make(map[string]*Job),
 		memo:       make(map[string]sim.Result),
+		sweeps:     make(map[string]*Sweep),
 		started:    time.Now(),
 	}
 	s.m.init(cfg.QueueWaitBuckets)
@@ -296,7 +343,8 @@ func New(cfg Config) *Server {
 		go s.worker()
 	}
 	s.log.Info("service started", "workers", cfg.Workers, "queue_depth", cfg.QueueDepth,
-		"store", cfg.Store != nil, "job_timeout", cfg.JobTimeout)
+		"store", cfg.Store != nil, "job_timeout", cfg.JobTimeout,
+		"fleet_worker", cfg.FleetWorker, "strict_tenants", cfg.StrictTenants)
 	return s
 }
 
@@ -355,9 +403,12 @@ func (s *Server) storeResult(fp string, res sim.Result) {
 type SubmitOption func(*submitOptions)
 
 type submitOptions struct {
-	trace   bool
-	spec    *spec.Spec
-	specSet bool // WithWorkloadSpec given, even with a nil spec (rejected)
+	trace    bool
+	spec     *spec.Spec
+	specSet  bool // WithWorkloadSpec given, even with a nil spec (rejected)
+	tenant   string
+	priority int
+	sweepID  string // set by SubmitSweep; sweep jobs bypass queued quotas
 }
 
 // WithDecisionTrace makes the job collect its FDP decision trace (one
@@ -377,6 +428,27 @@ func WithDecisionTrace() SubmitOption {
 // defaults hit the same cache entry.
 func WithWorkloadSpec(sp *spec.Spec) SubmitOption {
 	return func(o *submitOptions) { o.spec, o.specSet = sp, true }
+}
+
+// WithTenant attributes the job to a scheduler tenant for fair queueing
+// and quotas. Empty (or omitted) means the default tenant. Under a
+// strict roster, an unknown tenant fails the submission with
+// sweep.ErrUnknownTenant.
+func WithTenant(name string) SubmitOption {
+	return func(o *submitOptions) { o.tenant = name }
+}
+
+// WithPriority orders the job against the tenant's other queued work;
+// higher runs sooner (default 0). Priority is within-tenant only — it
+// never lets one tenant jump another's share.
+func WithPriority(p int) SubmitOption {
+	return func(o *submitOptions) { o.priority = p }
+}
+
+// forSweep links the job to a sweep and lets it bypass queued quotas
+// (sweep admission is bounded at expansion by sweep.MaxJobs).
+func forSweep(id string) SubmitOption {
+	return func(o *submitOptions) { o.sweepID = id }
 }
 
 // Submit validates a configuration and either completes it from cache,
@@ -412,6 +484,14 @@ func (s *Server) Submit(cfg sim.Config, opts ...SubmitOption) (*Job, error) {
 	cfg.Progress = nil // the worker installs its own sinks
 	cfg.Tracer = nil
 
+	tenant := o.tenant
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	if err := s.sched.validateTenant(tenant); err != nil {
+		return nil, err
+	}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -423,6 +503,9 @@ func (s *Server) Submit(cfg sim.Config, opts ...SubmitOption) (*Job, error) {
 		fp:          fp,
 		cfg:         cfg,
 		spec:        o.spec,
+		tenant:      tenant,
+		priority:    o.priority,
+		sweepID:     o.sweepID,
 		state:       StateQueued,
 		submittedAt: time.Now(),
 		subs:        make(map[int]chan sim.Snapshot),
@@ -454,23 +537,16 @@ func (s *Server) Submit(cfg sim.Config, opts ...SubmitOption) (*Job, error) {
 	}
 	s.m.cacheMisses.Add(1)
 
-	// Enqueue under s.mu so the send can never race Shutdown's close().
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		s.dropJob(job, ErrShuttingDown)
-		return nil, ErrShuttingDown
+	// Sweep jobs bypass the queued quotas: the sweep was admitted whole
+	// at expansion and fairness, not admission, spreads its load.
+	if err := s.sched.push(job, o.sweepID != ""); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.m.rejected.Add(1)
+		}
+		s.dropJob(job, err)
+		return nil, err
 	}
-	select {
-	case s.queue <- job:
-		s.mu.Unlock()
-		return job, nil
-	default:
-		s.mu.Unlock()
-		s.m.rejected.Add(1)
-		s.dropJob(job, ErrQueueFull)
-		return nil, ErrQueueFull
-	}
+	return job, nil
 }
 
 // shortFP abbreviates a fingerprint for log lines (the full 64 hex chars
@@ -520,11 +596,18 @@ func (s *Server) Cancel(id string) (*Job, error) {
 // QueueDepth returns the configured queue bound.
 func (s *Server) QueueDepth() int { return s.cfg.QueueDepth }
 
-// worker drains the queue until Shutdown closes it.
+// worker pops from the fair scheduler until Shutdown closes it. The pop
+// holds a running slot on the job's tenant; release returns it whatever
+// runJob decides (including skipping an already-cancelled job).
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for job := range s.queue {
+	for {
+		job, ok := s.sched.pop()
+		if !ok {
+			return
+		}
 		s.runJob(job)
+		s.sched.release(job.tenant)
 	}
 }
 
@@ -560,15 +643,62 @@ func (s *Server) runJob(job *Job) {
 		runCtx, tcancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 		defer tcancel()
 	}
+
+	// Fleet coordination: claim the fingerprint before simulating. Another
+	// worker may already have the result (adopt it), hold a live lease
+	// (wait with backoff, steal past expiry), or have crashed mid-write
+	// (the claim machinery recovers). Exhausted attempts fall back to
+	// executing locally: execution is at-least-once, results are
+	// exactly-once through the store's atomic Put.
+	var fleetAcquired bool
+	if s.cfg.FleetWorker != "" {
+		acquired, res, fromStore := s.fleetClaim(runCtx, job)
+		if fromStore {
+			s.storeResult(job.fp, res)
+			s.m.fleetAdopted.Add(1)
+			s.m.completed.Add(1)
+			job.mu.Lock()
+			job.cacheHit = true
+			job.finishLocked(StateDone, &res, "")
+			job.mu.Unlock()
+			s.log.Info("job finished", "job", job.id, "state", "done", "fleet_adopted", true)
+			return
+		}
+		fleetAcquired = acquired
+		if fleetAcquired {
+			// The claim outlives the run only until the result is stored;
+			// released on every exit so a failed run frees the fingerprint.
+			defer s.cfg.Store.Release(job.fp, s.cfg.FleetWorker)
+		}
+	}
+
 	cfg := job.cfg
 	cfg.Progress = func(snap sim.Snapshot) {
 		s.m.observeSnapshot(intervalSample{final: snap.Final, insertion: snap.Insertion, sample: snap.Sample})
 		job.publish(snap)
 	}
+	if fleetAcquired {
+		// Piggyback lease renewal on progress so a live simulation never
+		// loses its claim; a renewal that fails (lease stolen after a long
+		// stall) is logged but the run continues — the store's atomic Put
+		// keeps duplicate execution harmless.
+		inner := cfg.Progress
+		lastRenew := time.Now()
+		cfg.Progress = func(snap sim.Snapshot) {
+			inner(snap)
+			if time.Since(lastRenew) >= s.cfg.LeaseTTL/3 {
+				lastRenew = time.Now()
+				if !s.cfg.Store.Renew(job.fp, s.cfg.FleetWorker, s.cfg.LeaseTTL) {
+					s.log.Warn("fleet lease lost mid-run", "job", job.id, "fingerprint", shortFP(job.fp))
+				}
+			}
+		}
+	}
 	cfg.Tracer = nil
 	if job.trace != nil {
 		cfg.Tracer = job.trace
 	}
+	s.m.executions.Add(1)
 	var res sim.Result
 	var err error
 	if job.spec != nil {
@@ -637,6 +767,70 @@ func (s *Server) runJob(job *Job) {
 	s.log.Info("job finished", attrs...)
 }
 
+// fleetClaim negotiates fingerprint ownership with the rest of the
+// fleet. It returns fromStore with the finished result when another
+// worker completed it, acquired when this worker won the claim, or
+// neither when the bounded retries ran out (execute locally) or ctx
+// ended (the run exits immediately anyway).
+func (s *Server) fleetClaim(ctx context.Context, job *Job) (acquired bool, res sim.Result, fromStore bool) {
+	st := s.cfg.Store
+	backoff := 25 * time.Millisecond
+	for attempt := 0; attempt < s.cfg.ClaimAttempts; attempt++ {
+		state, info, err := st.Claim(job.fp, s.cfg.FleetWorker, s.cfg.LeaseTTL)
+		if err != nil {
+			s.log.Warn("fleet claim error; executing locally", "job", job.id, "error", err)
+			return false, sim.Result{}, false
+		}
+		switch state {
+		case store.ClaimDone:
+			if r, ok := st.Get(job.fp); ok {
+				return false, r, true
+			}
+			// The result was discarded as corrupt between Claim and Get;
+			// recover by executing locally.
+			return false, sim.Result{}, false
+		case store.ClaimAcquired:
+			s.m.claimsAcquired.Add(1)
+			if info.Stolen {
+				s.m.claimsStolen.Add(1)
+				s.log.Info("fleet claim stolen from expired lease", "job", job.id,
+					"fingerprint", shortFP(job.fp))
+			}
+			return true, sim.Result{}, false
+		case store.ClaimHeld:
+			s.m.claimsWaited.Add(1)
+			wait := backoff
+			// Never sleep far past the holder's lease: the moment it
+			// expires this worker is eligible to steal.
+			if until := time.Until(info.Expires); until > 0 && until+5*time.Millisecond < wait {
+				wait = until + 5*time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return false, sim.Result{}, false
+			case <-time.After(wait):
+			}
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+		}
+	}
+	s.log.Warn("fleet claim attempts exhausted; executing locally",
+		"job", job.id, "fingerprint", shortFP(job.fp), "attempts", s.cfg.ClaimAttempts)
+	return false, sim.Result{}, false
+}
+
+// Executions returns how many simulations this server actually ran
+// (excluding cache hits and fleet-adopted results) — the fleet e2e's
+// exactly-once bookkeeping.
+func (s *Server) Executions() uint64 { return s.m.executions.Load() }
+
+// Tenants exports the scheduler's per-tenant state.
+func (s *Server) Tenants() []TenantSnapshot { return s.sched.snapshot() }
+
+// SetTenant registers or reconfigures a scheduler tenant at runtime.
+func (s *Server) SetTenant(name string, cfg TenantConfig) { s.sched.register(name, cfg) }
+
 // dccDistribution samples, for the metrics endpoint, how many currently
 // running jobs sit at each Dynamic Configuration Counter level (1..5,
 // from their latest progress snapshot). Index 0 is unused.
@@ -662,7 +856,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.queue)
+		s.sched.close()
 	}
 	s.mu.Unlock()
 	s.log.Info("shutdown: draining worker pool", "running", s.m.running.Load())

@@ -1,0 +1,146 @@
+package sweep
+
+import (
+	"fmt"
+
+	"fdpsim/internal/harness"
+)
+
+// Cell is one grid cell's reportable state: the unit's coordinates plus
+// the job that executes it. The service builds cells from live job state;
+// everything here is aggregation over them.
+type Cell struct {
+	Workload    string  `json:"workload"`
+	Config      string  `json:"config"`
+	Seed        uint64  `json:"seed"`
+	JobID       string  `json:"job_id"`
+	Fingerprint string  `json:"fingerprint"`
+	State       string  `json:"state"` // queued, running, done, failed, cancelled
+	CacheHit    bool    `json:"cache_hit,omitempty"`
+	IPC         float64 `json:"ipc,omitempty"`
+	BPKI        float64 `json:"bpki,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// Summary is the aggregate a sweep's SSE feed streams: state counts plus
+// rolling means of the paper's two headline metrics over completed cells.
+type Summary struct {
+	Total     int `json:"total"`
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	CacheHits int `json:"cache_hits"`
+
+	// MeanIPC and MeanBPKI average the completed cells so far — the
+	// rolling aggregate a dashboard plots while the sweep runs.
+	MeanIPC  float64 `json:"mean_ipc"`
+	MeanBPKI float64 `json:"mean_bpki"`
+}
+
+// Terminal reports whether every cell has reached a final state.
+func (s Summary) Terminal() bool {
+	return s.Done+s.Failed+s.Cancelled == s.Total
+}
+
+// Summarize folds cells into the aggregate.
+func Summarize(cells []Cell) Summary {
+	var sum Summary
+	sum.Total = len(cells)
+	var ipc, bpki float64
+	for _, c := range cells {
+		switch c.State {
+		case "queued":
+			sum.Queued++
+		case "running":
+			sum.Running++
+		case "done":
+			sum.Done++
+			ipc += c.IPC
+			bpki += c.BPKI
+		case "failed":
+			sum.Failed++
+		case "cancelled":
+			sum.Cancelled++
+		}
+		if c.CacheHit {
+			sum.CacheHits++
+		}
+	}
+	if sum.Done > 0 {
+		sum.MeanIPC = ipc / float64(sum.Done)
+		sum.MeanBPKI = bpki / float64(sum.Done)
+	}
+	return sum
+}
+
+// Tables renders the merged results the way the harness renders an
+// experiment: one row per (workload, seed), one column per configuration
+// label, one table per metric (IPC and BPKI — the paper's performance and
+// bandwidth-cost axes). Cells not yet done render as "-", failed ones as
+// "x", so a partial sweep still produces a readable table. Column order
+// is first appearance in cells, which Expand keeps stable.
+func Tables(title string, cells []Cell) []harness.Table {
+	var configs []string
+	seenCfg := map[string]bool{}
+	type rowKey struct {
+		workload string
+		seed     uint64
+	}
+	var rows []rowKey
+	seenRow := map[rowKey]bool{}
+	grid := map[rowKey]map[string]Cell{}
+	multiSeed := false
+	for _, c := range cells {
+		if !seenCfg[c.Config] {
+			seenCfg[c.Config] = true
+			configs = append(configs, c.Config)
+		}
+		rk := rowKey{c.Workload, c.Seed}
+		if !seenRow[rk] {
+			seenRow[rk] = true
+			rows = append(rows, rk)
+		}
+		if grid[rk] == nil {
+			grid[rk] = map[string]Cell{}
+		}
+		grid[rk][c.Config] = c
+		if c.Seed != cells[0].Seed {
+			multiSeed = true
+		}
+	}
+
+	rowLabel := func(rk rowKey) string {
+		if multiSeed {
+			return fmt.Sprintf("%s/s%d", rk.workload, rk.seed)
+		}
+		return rk.workload
+	}
+	build := func(metric string, value func(Cell) float64) harness.Table {
+		t := harness.Table{
+			Title:  fmt.Sprintf("%s — %s", title, metric),
+			Header: append([]string{"Workload"}, configs...),
+		}
+		for _, rk := range rows {
+			cellsRow := []string{rowLabel(rk)}
+			for _, cfg := range configs {
+				c, ok := grid[rk][cfg]
+				switch {
+				case !ok || c.State == "queued" || c.State == "running":
+					cellsRow = append(cellsRow, "-")
+				case c.State == "done":
+					cellsRow = append(cellsRow, fmt.Sprintf("%.3f", value(c)))
+				default: // failed, cancelled
+					cellsRow = append(cellsRow, "x")
+				}
+			}
+			t.AddRow(cellsRow...)
+		}
+		return t
+	}
+	return []harness.Table{
+		build("IPC", func(c Cell) float64 { return c.IPC }),
+		build("BPKI", func(c Cell) float64 { return c.BPKI }),
+	}
+}

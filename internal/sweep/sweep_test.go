@@ -1,0 +1,242 @@
+package sweep
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fdpsim/internal/sim"
+	"fdpsim/internal/workload/spec"
+)
+
+func threeAxis() Request {
+	return Request{
+		Name:      "t2-slice",
+		Workloads: []string{"seqstream", "chaserand"},
+		Configs: []ConfigAxis{
+			{Prefetcher: "stream", Level: 5},
+			{Prefetcher: "stream", FDP: true},
+			{Prefetcher: "none"},
+		},
+		Seeds: []uint64{1, 2, 3},
+		Insts: 100_000,
+	}
+}
+
+func TestExpandCrossProduct(t *testing.T) {
+	req := threeAxis()
+	units, err := req.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 18 { // 2 workloads × 3 configs × 3 seeds
+		t.Fatalf("expanded %d units, want 18", len(units))
+	}
+
+	// Stable order: workload-major, then config, then seed.
+	first := units[0]
+	if first.Workload != "seqstream" || first.Config != "stream-L5" || first.Seed != 1 {
+		t.Fatalf("first unit = %+v", first)
+	}
+	last := units[17]
+	if last.Workload != "chaserand" || last.Config != "none" || last.Seed != 3 {
+		t.Fatalf("last unit = %+v", last)
+	}
+
+	// Every unit is fingerprintable and distinct, carries the shared
+	// sizing, and has a job-valid configuration.
+	fps := map[string]bool{}
+	keys := map[string]bool{}
+	for _, u := range units {
+		fp, ok := u.Fingerprint()
+		if !ok {
+			t.Fatalf("unit %+v not fingerprintable", u)
+		}
+		if fps[fp] {
+			t.Fatalf("duplicate fingerprint for %+v", u)
+		}
+		fps[fp] = true
+		if keys[u.Key()] {
+			t.Fatalf("duplicate key %q", u.Key())
+		}
+		keys[u.Key()] = true
+		if u.Cfg.MaxInsts != 100_000 || u.Cfg.Seed != u.Seed || u.Cfg.Workload != u.Workload {
+			t.Fatalf("sizing not stamped: %+v", u.Cfg)
+		}
+	}
+}
+
+func TestExpandDerivedLabels(t *testing.T) {
+	for _, tc := range []struct {
+		axis ConfigAxis
+		want string
+	}{
+		{ConfigAxis{}, "stream-L5"},
+		{ConfigAxis{Prefetcher: "ghb", FDP: true}, "ghb-fdp"},
+		{ConfigAxis{Prefetcher: "none"}, "none"},
+		{ConfigAxis{Prefetcher: "stride", Level: 2}, "stride-L2"},
+		{ConfigAxis{Level: 5, DynamicInsertion: true}, "stream-L5+dynins"},
+		{ConfigAxis{Label: "mine", Prefetcher: "ghb"}, "mine"},
+	} {
+		if got := tc.axis.label(); got != tc.want {
+			t.Errorf("label(%+v) = %q, want %q", tc.axis, got, tc.want)
+		}
+	}
+}
+
+func TestExpandSpecs(t *testing.T) {
+	sp := &spec.Spec{
+		Name: "sweepspec",
+		Phases: []spec.Phase{{
+			Clients: []spec.Client{{Pattern: spec.Pattern{Kind: spec.KindStride, FootprintKB: 256}}},
+		}},
+	}
+	req := Request{
+		Specs:   []*spec.Spec{sp},
+		Configs: []ConfigAxis{{Prefetcher: "stream", FDP: true}},
+	}
+	units, err := req.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 1 || units[0].Spec == nil || units[0].Workload != "sweepspec" {
+		t.Fatalf("spec expansion: %+v", units)
+	}
+	fp, ok := units[0].Fingerprint()
+	if !ok || fp == "" {
+		t.Fatal("spec unit not fingerprintable")
+	}
+}
+
+func TestExpandValidation(t *testing.T) {
+	base := threeAxis()
+	cases := []struct {
+		name    string
+		mutate  func(*Request)
+		wantSub string
+	}{
+		{"empty workload axis", func(r *Request) { r.Workloads, r.Specs = nil, nil }, "empty workload axis"},
+		{"empty config axis", func(r *Request) { r.Configs = nil }, "empty config axis"},
+		{"unknown workload", func(r *Request) { r.Workloads = []string{"no-such"} }, "no-such"},
+		{"unknown prefetcher", func(r *Request) { r.Configs[0].Prefetcher = "warp" }, "warp"},
+		{"level out of range", func(r *Request) { r.Configs[0].Level = 9 }, "out of range"},
+		{"fdp plus level", func(r *Request) { r.Configs[1].Level = 3 }, "both fdp and a static level"},
+		{"none plus level", func(r *Request) { r.Configs[2].Level = 2 }, "level without a prefetcher"},
+		{"duplicate labels", func(r *Request) { r.Configs[1].Label = "stream-L5" }, "duplicate config label"},
+		{"blank workload", func(r *Request) { r.Workloads = []string{" "} }, "empty workload name"},
+		{"null spec", func(r *Request) { r.Specs = []*spec.Spec{nil} }, "null spec"},
+		{"oversized grid", func(r *Request) {
+			r.Seeds = make([]uint64, MaxJobs)
+			for i := range r.Seeds {
+				r.Seeds[i] = uint64(i + 1)
+			}
+		}, "above the"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := threeAxis()
+			tc.mutate(&req)
+			_, err := req.Expand()
+			if err == nil {
+				t.Fatal("Expand accepted an invalid request")
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("error %v does not wrap ErrInvalid", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q lacks %q", err, tc.wantSub)
+			}
+		})
+	}
+	_ = base
+
+	// Multi-lane specs cannot run as sweep cells.
+	multi := &spec.Spec{
+		Name: "multilane",
+		Phases: []spec.Phase{{
+			Clients: []spec.Client{
+				{Lane: 0, Pattern: spec.Pattern{Kind: spec.KindStride}},
+				{Lane: 1, Pattern: spec.Pattern{Kind: spec.KindStride}},
+			},
+		}},
+	}
+	req := Request{Specs: []*spec.Spec{multi}, Configs: []ConfigAxis{{}}}
+	if _, err := req.Expand(); err == nil || !errors.Is(err, ErrInvalid) {
+		t.Fatalf("multi-lane spec accepted: %v", err)
+	}
+
+	// ErrUnknownTenant is part of the invalid family (exit code 2, HTTP 400).
+	if !errors.Is(ErrUnknownTenant, ErrInvalid) {
+		t.Fatal("ErrUnknownTenant does not wrap ErrInvalid")
+	}
+}
+
+func TestExpandDefaults(t *testing.T) {
+	req := Request{Workloads: []string{"seqstream"}, Configs: []ConfigAxis{{}}}
+	units, err := req.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 1 {
+		t.Fatalf("expanded %d, want 1", len(units))
+	}
+	u := units[0]
+	if u.Seed != 1 || u.Cfg.Prefetcher != sim.PrefStream || u.Cfg.StaticLevel != 5 {
+		t.Fatalf("defaults not applied: %+v", u.Cfg)
+	}
+	if u.Cfg.MaxInsts != sim.Default().MaxInsts {
+		t.Fatalf("MaxInsts = %d, want simulator default", u.Cfg.MaxInsts)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	cells := []Cell{
+		{State: "done", IPC: 1.0, BPKI: 4.0, CacheHit: true},
+		{State: "done", IPC: 3.0, BPKI: 8.0},
+		{State: "running"},
+		{State: "queued"},
+		{State: "failed"},
+		{State: "cancelled"},
+	}
+	s := Summarize(cells)
+	want := Summary{Total: 6, Queued: 1, Running: 1, Done: 2, Failed: 1, Cancelled: 1,
+		CacheHits: 1, MeanIPC: 2.0, MeanBPKI: 6.0}
+	if s != want {
+		t.Fatalf("Summarize = %+v, want %+v", s, want)
+	}
+	if s.Terminal() {
+		t.Fatal("non-terminal summary reported terminal")
+	}
+	if !(Summary{Total: 2, Done: 1, Failed: 1}).Terminal() {
+		t.Fatal("terminal summary not recognized")
+	}
+}
+
+func TestTables(t *testing.T) {
+	cells := []Cell{
+		{Workload: "seqstream", Config: "stream-L5", Seed: 1, State: "done", IPC: 1.234, BPKI: 5.678},
+		{Workload: "seqstream", Config: "stream-fdp", Seed: 1, State: "running"},
+		{Workload: "chaserand", Config: "stream-L5", Seed: 1, State: "failed"},
+		{Workload: "chaserand", Config: "stream-fdp", Seed: 1, State: "done", IPC: 0.5, BPKI: 1.5},
+	}
+	tables := Tables("demo", cells)
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want 2 (IPC, BPKI)", len(tables))
+	}
+	ipc := tables[0].String()
+	for _, want := range []string{"demo — IPC", "stream-L5", "stream-fdp", "seqstream", "1.234", "-", "x"} {
+		if !strings.Contains(ipc, want) {
+			t.Fatalf("IPC table lacks %q:\n%s", want, ipc)
+		}
+	}
+	bpki := tables[1].String()
+	if !strings.Contains(bpki, "5.678") || !strings.Contains(bpki, "demo — BPKI") {
+		t.Fatalf("BPKI table:\n%s", bpki)
+	}
+
+	// Multi-seed sweeps disambiguate rows with the seed.
+	cells = append(cells, Cell{Workload: "seqstream", Config: "stream-L5", Seed: 2, State: "done", IPC: 2})
+	if got := Tables("demo", cells)[0].String(); !strings.Contains(got, "seqstream/s2") {
+		t.Fatalf("multi-seed rows not labeled:\n%s", got)
+	}
+}
