@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build build-cmds vet lint test test-short test-race fleet-e2e check bench bench-core bench-trace experiments serve fuzz fuzz-smoke clean
+.PHONY: all build build-cmds vet lint test test-short test-race fleet-e2e check bench bench-core bench-trace bench-json trace-smoke experiments serve fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -69,12 +69,27 @@ bench-core:
 	@command -v benchstat >/dev/null 2>&1 || \
 		echo "benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest) — single run only, no comparison"
 
+# Machine-readable benchmark snapshot: runs the core hot-path
+# benchmarks and archives them as BENCH_8.json at the repo root (CI
+# uploads the same file as a build artifact). The JSON carries goos/
+# goarch/cpu context, so snapshots from different machines are
+# distinguishable; compare like with like.
+bench-json:
+	go test ./internal/sim -run xxx -bench 'BenchmarkIntervalBoundary|BenchmarkPerInstruction' -benchmem \
+		| go run ./cmd/benchjson -out BENCH_8.json
+
 # The tracer hot-path guard: the interval boundary must stay
 # allocation-free with tracing disabled (and with a no-op tracer).
 # -benchtime=1x is a smoke run — CI uses it to catch compile/wiring rot;
 # use the default benchtime locally for real numbers.
 bench-trace:
 	go test ./internal/sim -run xxx -bench BenchmarkIntervalBoundary -benchmem -benchtime=1x
+
+# End-to-end fabric-tracing smoke: boot fdpserved with a store, run a
+# tiny sweep, validate the Chrome trace export, the provenance ledgers
+# and the /metrics span families (scripts/trace-smoke.sh).
+trace-smoke: build-cmds
+	sh scripts/trace-smoke.sh
 
 # Regenerate every table and figure at the documented scale. Results
 # persist in .fdpcache, so a re-run only simulates what changed.

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseBenchOutput feeds a realistic -benchmem transcript (package
+// headers, PASS trailer, an allocation-free line and a custom metric)
+// through the parser and pins the extracted fields.
+func TestParseBenchOutput(t *testing.T) {
+	const out = `
+goos: linux
+goarch: amd64
+pkg: fdpsim/internal/sim
+cpu: AMD EPYC 7B13
+BenchmarkIntervalBoundary-8   	 2925932	       410.8 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPerInstruction-8     	25990546	        45.95 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWithMetric-8         	     100	    104000 ns/op	        3.20 misses/op
+PASS
+ok  	fdpsim/internal/sim	4.611s
+`
+	rep, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("context = %q/%q/%q", rep.GOOS, rep.GOARCH, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkIntervalBoundary" || b.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", b.Name, b.Procs)
+	}
+	if b.Package != "fdpsim/internal/sim" {
+		t.Fatalf("package = %q", b.Package)
+	}
+	if b.Iterations != 2925932 || b.NsPerOp != 410.8 {
+		t.Fatalf("iters/ns = %d/%g", b.Iterations, b.NsPerOp)
+	}
+	// allocs/op of 0 must be recorded as measured (present in Metrics),
+	// not conflated with "no -benchmem".
+	if v, ok := b.Metrics["allocs/op"]; !ok || v != 0 {
+		t.Fatalf("allocs/op metric = %v, %v; want 0, true", v, ok)
+	}
+	if v := rep.Benchmarks[2].Metrics["misses/op"]; v != 3.20 {
+		t.Fatalf("custom metric = %g, want 3.2", v)
+	}
+}
+
+// TestParseLineRejectsNonResults pins that -v chatter starting with
+// "Benchmark" (no iteration count) is skipped, not misparsed.
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkIntervalBoundary",
+		"BenchmarkFoo-8 notanumber 5 ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted a non-result line", line)
+		}
+	}
+}
+
+// TestParseNameWithoutProcsSuffix covers GOMAXPROCS=1 output, where go
+// test omits the -N suffix entirely.
+func TestParseNameWithoutProcsSuffix(t *testing.T) {
+	b, ok := parseLine("BenchmarkSolo   \t 500 \t 2000 ns/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if b.Name != "BenchmarkSolo" || b.Procs != 0 {
+		t.Fatalf("name/procs = %q/%d, want BenchmarkSolo/0", b.Name, b.Procs)
+	}
+}

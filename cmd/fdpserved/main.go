@@ -16,10 +16,13 @@
 //	GET    /v1/jobs/{id}        poll a job
 //	GET    /v1/jobs/{id}/events per-FDP-interval progress via SSE
 //	GET    /v1/jobs/{id}/trace  FDP decision trace (JSONL; ?format=chrome)
+//	GET    /v1/jobs/{id}/spans  fabric spans (?format=chrome for Perfetto)
 //	DELETE /v1/jobs/{id}        cancel (running jobs keep partial results)
 //	POST   /v1/sweeps           submit a parameter grid (docs/SWEEPS.md)
 //	GET    /v1/sweeps/{id}/events aggregate sweep progress via SSE
 //	GET    /v1/sweeps/{id}/results merged results (?format=text for tables)
+//	GET    /v1/sweeps/{id}/trace whole-sweep fabric trace (Chrome/Perfetto)
+//	GET    /debug/events        fabric-span flight recorder
 //	GET    /metrics             Prometheus text metrics
 //	GET    /healthz             liveness (503 while draining)
 //
@@ -150,6 +153,8 @@ func main() {
 		fleetWorker   = flag.String("fleet-worker", "", "worker name in a shared-store fleet (empty = standalone; requires -cache-dir)")
 		lease         = flag.Duration("lease", 30*time.Second, "fleet claim lease; expired leases are stolen by live workers")
 		claimAttempts = flag.Int("claim-attempts", 0, "bounded retries on a held fleet claim before executing locally (0 = default 32)")
+		sseKeepalive  = flag.Duration("sse-keepalive", 15*time.Second, "idle interval before SSE streams emit a ': keepalive' comment frame (<=0 disables)")
+		spanLimit     = flag.Int("span-limit", 0, "fabric-span flight recorder size for /debug/events (0 = default 4096)")
 	)
 	tenants := tenantFlags{}
 	flag.Var(tenants, "tenant", "register a scheduler tenant as name:weight[:maxrunning[:maxqueued]] (repeatable)")
@@ -173,6 +178,11 @@ func main() {
 		FleetWorker:   *fleetWorker,
 		LeaseTTL:      *lease,
 		ClaimAttempts: *claimAttempts,
+		SSEKeepalive:  *sseKeepalive,
+		SpanLimit:     *spanLimit,
+	}
+	if *sseKeepalive <= 0 {
+		cfg.SSEKeepalive = -1 // 0 in the Config means "default"; the flag's 0 means off
 	}
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir)

@@ -4,10 +4,14 @@
 // the interval's cycles, bus utilization split by transaction kind, DRAM
 // row-hit rate, and MSHR/queue pressure.
 //
-// It has two sources and one escape hatch:
+// It has four sources and one escape hatch:
 //
 //	fdptop -addr 127.0.0.1:8080 -job 3f2c91ab      attach to a running
 //	                                               fdpserved job over SSE
+//	fdptop -addr 127.0.0.1:8080 -sweep sweep-0001  sweep/fleet pane: cell
+//	                                               progress + fabric lanes
+//	fdptop -store /var/cache/fdpsim -prov <fp>     print a fingerprint's
+//	                                               provenance ledger
 //	fdptop -replay trace.jsonl                     replay a decision trace
 //	                                               recorded with -attr
 //	fdptop -replay trace.jsonl -once               render the final frame
@@ -38,12 +42,15 @@ const tool = "fdptop"
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "fdpserved address for -job")
-		job     = flag.String("job", "", "fdpserved job ID to attach to over SSE")
-		replay  = flag.String("replay", "", "replay a JSONL decision trace instead of attaching")
-		once    = flag.Bool("once", false, "render a single final frame and exit (no redraw)")
-		rate    = flag.Duration("rate", 40*time.Millisecond, "replay frame delay in TTY mode")
-		version = flag.Bool("version", false, "print build information and exit")
+		addr     = flag.String("addr", "127.0.0.1:8080", "fdpserved address for -job and -sweep")
+		job      = flag.String("job", "", "fdpserved job ID to attach to over SSE")
+		sweepID  = flag.String("sweep", "", "fdpserved sweep ID: aggregate progress + per-worker fabric lanes")
+		prov     = flag.String("prov", "", "print a fingerprint's provenance ledger (with -store) and exit")
+		storeDir = flag.String("store", "", "result-store directory for -prov")
+		replay   = flag.String("replay", "", "replay a JSONL decision trace instead of attaching")
+		once     = flag.Bool("once", false, "render a single final frame and exit (no redraw)")
+		rate     = flag.Duration("rate", 40*time.Millisecond, "replay frame delay in TTY mode")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 
@@ -51,14 +58,23 @@ func main() {
 		cli.PrintVersion(tool)
 		return
 	}
+	// Build info goes to stderr so piped dashboard frames stay clean.
+	fmt.Fprintf(os.Stderr, "%s\n", cli.Version(tool))
 
 	switch {
+	case *prov != "":
+		if *storeDir == "" {
+			cli.Fatalf(tool, cli.ExitUsage, "-prov requires -store <dir> (the shared result-store directory)")
+		}
+		cli.FatalIf(tool, showProvenance(os.Stdout, *storeDir, *prov))
 	case *replay != "":
 		cli.FatalIf(tool, replayTrace(os.Stdout, *replay, *once, *rate))
+	case *sweepID != "":
+		cli.FatalIf(tool, attachSweep(os.Stdout, *addr, *sweepID, *once))
 	case *job != "":
 		cli.FatalIf(tool, attach(os.Stdout, *addr, *job, *once))
 	default:
-		cli.Fatalf(tool, cli.ExitUsage, "use -job <id> (with -addr) to attach, or -replay <trace.jsonl>")
+		cli.Fatalf(tool, cli.ExitUsage, "use -job or -sweep <id> (with -addr) to attach, -prov <fp> -store <dir> for the ledger, or -replay <trace.jsonl>")
 	}
 }
 

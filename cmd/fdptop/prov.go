@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"fdpsim/internal/store"
+)
+
+// showProvenance prints a fingerprint's provenance ledger — every
+// attempt that touched the result, oldest first: who ran it, under
+// which lease generation, with the wall-clock broken into queue, run
+// and store time. This is the offline counterpart to the sweep pane:
+// it reads the shared store directory directly, no daemon needed.
+func showProvenance(w io.Writer, dir, fp string) error {
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	entries, err := st.ReadProvenance(fp)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no provenance recorded for %s in %s", fp, dir)
+	}
+	fmt.Fprintf(w, "provenance %s (%d attempts)\n", fp, len(entries))
+	fmt.Fprintf(w, "%-20s %-10s %-10s %4s %-8s %9s %9s %9s %9s  %s\n",
+		"finished", "outcome", "worker", "gen", "tenant", "queue", "run", "store", "wall", "trace")
+	for _, p := range entries {
+		gen := fmt.Sprintf("%d", p.LeaseGen)
+		if p.LeaseGen < 0 {
+			gen = "-"
+		}
+		if p.Stolen {
+			gen += "*"
+		}
+		trace := p.TraceID
+		if len(trace) > 12 {
+			trace = trace[:12] + "…"
+		}
+		fmt.Fprintf(w, "%-20s %-10s %-10s %4s %-8s %9s %9s %9s %9s  %s\n",
+			p.Finished.Format("2006-01-02 15:04:05"), p.Outcome, orDash(p.Worker), gen,
+			orDash(p.Tenant), msCell(p.QueueWaitMS), msCell(p.RunMS),
+			msCell(p.StoreMS), msCell(p.WallMS), orDash(trace))
+		if p.Error != "" {
+			fmt.Fprintf(w, "  error: %s\n", p.Error)
+		}
+	}
+	fmt.Fprintln(w, "gen* = lease stolen from an expired holder")
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func msCell(ms float64) string { return fmt.Sprintf("%.1fms", ms) }

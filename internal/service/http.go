@@ -128,13 +128,17 @@ func (r *JobRequest) BuildConfig() sim.Config {
 //	GET    /v1/jobs/{id}/events   SSE per-interval progress
 //	GET    /v1/jobs/{id}/trace    download the FDP decision trace
 //	                              (JSONL; ?format=chrome for Perfetto)
+//	GET    /v1/jobs/{id}/spans    fabric spans (JSON; ?format=chrome)
 //	DELETE /v1/jobs/{id}          cancel
 //	POST   /v1/sweeps             submit a parameter grid (202; 400 invalid)
 //	GET    /v1/sweeps             list sweep statuses
 //	GET    /v1/sweeps/{id}        poll one sweep (aggregate summary + ETA)
 //	GET    /v1/sweeps/{id}/events SSE aggregate progress (counts, ETA, means)
 //	GET    /v1/sweeps/{id}/results merged results (JSON; ?format=text for tables)
+//	GET    /v1/sweeps/{id}/trace  whole-sweep fabric trace (Chrome/Perfetto;
+//	                              ?format=json for raw spans)
 //	DELETE /v1/sweeps/{id}        cancel every non-terminal cell
+//	GET    /debug/events          fabric-span flight recorder (last N spans)
 //	GET    /metrics               Prometheus text metrics
 //	GET    /healthz               liveness
 //
@@ -148,12 +152,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleJobSpans)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
+	mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.handleSweepTrace)
+	mux.HandleFunc("GET /debug/events", s.handleDebugEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s.withObservability(mux)
@@ -215,10 +222,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Priority != 0 {
 		opts = append(opts, WithPriority(req.Priority))
 	}
+	if traceID, parent := parseTraceHeader(r.Header.Get(TraceHeader)); traceID != "" {
+		opts = append(opts, WithTraceContext(traceID, parent))
+	}
 	job, err := s.Submit(cfg, opts...)
 	switch {
 	case err == nil:
 		st := job.Status()
+		w.Header().Set(TraceHeader, job.TraceID())
 		if st.CacheHit {
 			writeJSON(w, http.StatusOK, st) // answered without simulating
 			return
@@ -333,10 +344,34 @@ func sseEvent(w http.ResponseWriter, fl http.Flusher, event string, v any) error
 	return nil
 }
 
+// sseKeepalive writes one SSE comment frame — invisible to EventSource
+// clients, but enough traffic to keep proxies and LBs from reaping an
+// idle stream.
+func sseKeepalive(w http.ResponseWriter, fl http.Flusher) error {
+	if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+		return err
+	}
+	fl.Flush()
+	return nil
+}
+
+// keepaliveTicker returns the idle-keepalive channel for an SSE stream
+// (nil — blocking forever — when keepalives are disabled) and its stop
+// function. Callers Reset the ticker whenever they send a real event so
+// comment frames only fill genuine idle gaps.
+func (s *Server) keepaliveTicker() (*time.Ticker, <-chan time.Time) {
+	if s.cfg.SSEKeepalive <= 0 {
+		return nil, nil
+	}
+	t := time.NewTicker(s.cfg.SSEKeepalive)
+	return t, t.C
+}
+
 // handleEvents streams a job's per-FDP-interval Snapshots as SSE
 // "progress" events, ending with one "done" event carrying the final
 // JobStatus (result included). Subscribing to a finished job yields the
-// "done" event immediately.
+// "done" event immediately. Idle gaps are bridged with ": keepalive"
+// comment frames (Config.SSEKeepalive).
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -354,6 +389,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	id, ch, last := job.subscribe()
 	defer job.unsubscribe(id)
+	ticker, keepalive := s.keepaliveTicker()
+	if ticker != nil {
+		defer ticker.Stop()
+	}
 
 	// Late joiners first see where the run already is.
 	if err := sseEvent(w, fl, "state", job.Status()); err != nil {
@@ -369,7 +408,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case snap := <-ch:
+			if ticker != nil {
+				ticker.Reset(s.cfg.SSEKeepalive)
+			}
 			if err := sseEvent(w, fl, "progress", snap); err != nil {
+				return
+			}
+		case <-keepalive:
+			if err := sseKeepalive(w, fl); err != nil {
 				return
 			}
 		case <-job.Done():
@@ -424,6 +470,73 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleJobSpans serves a job's fabric spans: JSON by default, or the
+// Chrome trace_event document with ?format=chrome. Spans accumulate as
+// the job progresses, so polling a running job shows the stages so far.
+func (s *Server) handleJobSpans(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	spans := job.Spans()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, map[string]any{
+			"trace_id": job.TraceID(),
+			"spans":    spans,
+		})
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q", job.ID()+".spans.json"))
+		w.WriteHeader(http.StatusOK)
+		obs.WriteSpansChrome(w, spans) //nolint:errcheck // the client went away
+	default:
+		writeError(w, http.StatusBadRequest, "unknown spans format %q (want json or chrome)", format)
+	}
+}
+
+// handleSweepTrace serves the sweep's whole fabric trace — the sweep
+// root plus every job's spans — as a Chrome trace_event document by
+// default (one Perfetto lane per worker, one row per tenant), or raw
+// span JSON with ?format=json. A running sweep renders its partial
+// trace.
+func (s *Server) handleSweepTrace(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.Sweep(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	spans := s.sweepSpans(sw)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q", sw.ID()+".trace.json"))
+		w.WriteHeader(http.StatusOK)
+		obs.WriteSpansChrome(w, spans) //nolint:errcheck // ditto
+	case "json":
+		writeJSON(w, http.StatusOK, map[string]any{
+			"trace_id": sw.TraceID(),
+			"spans":    spans,
+		})
+	default:
+		writeError(w, http.StatusBadRequest, "unknown trace format %q (want chrome or json)", format)
+	}
+}
+
+// handleDebugEvents serves the fabric flight recorder: the last N spans
+// across all jobs and sweeps, oldest first, with the eviction count —
+// the "what just happened" endpoint for incident triage.
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"spans":   s.spans.Spans(),
+		"held":    s.spans.Len(),
+		"dropped": s.spans.Dropped(),
+	})
+}
+
 // handleSweepSubmit admits a parameter grid: expansion and validation
 // happen synchronously (400 on a bad grid), execution is asynchronous.
 func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
@@ -434,10 +547,12 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid sweep request: %v", err)
 		return
 	}
-	sw, err := s.SubmitSweep(req)
+	traceID, parent := parseTraceHeader(r.Header.Get(TraceHeader))
+	sw, err := s.SubmitSweepTrace(req, traceID, parent)
 	switch {
 	case err == nil:
 		w.Header().Set("Location", "/v1/sweeps/"+sw.ID())
+		w.Header().Set(TraceHeader, sw.TraceID())
 		writeJSON(w, http.StatusAccepted, sw.Status())
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -526,6 +641,10 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 
 	id, ch := sw.subscribe()
 	defer sw.unsubscribe(id)
+	ticker, keepalive := s.keepaliveTicker()
+	if ticker != nil {
+		defer ticker.Stop()
+	}
 
 	if err := sseEvent(w, fl, "summary", sw.event()); err != nil {
 		return
@@ -535,7 +654,14 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case ev := <-ch:
+			if ticker != nil {
+				ticker.Reset(s.cfg.SSEKeepalive)
+			}
 			if err := sseEvent(w, fl, "summary", ev); err != nil {
+				return
+			}
+		case <-keepalive:
+			if err := sseKeepalive(w, fl); err != nil {
 				return
 			}
 		case <-sw.Done():
@@ -548,7 +674,7 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.m.render(w, s.sched.depthUsed(), time.Since(s.started), s.dccDistribution(),
-		s.sched.snapshot(), s.activeSweeps())
+		s.sched.snapshot(), s.activeSweeps(), s.spans.Len(), s.spans.Dropped())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -35,6 +35,10 @@ type metrics struct {
 	claimsAcquired atomic.Uint64 // fingerprint claims won (fresh or stolen)
 	claimsStolen   atomic.Uint64 // claims won by stealing an expired lease
 	claimsWaited   atomic.Uint64 // held-claim observations (backoff waits)
+	leaseLost      atomic.Uint64 // mid-run lease renewals that found the lease gone
+
+	// Fabric tracing.
+	spansRecorded atomic.Uint64 // fabric spans recorded (job + flight recorder)
 
 	// Sweep fabric.
 	sweepsSubmitted atomic.Uint64 // sweeps admitted via POST /v1/sweeps
@@ -58,6 +62,41 @@ type metrics struct {
 
 	queueWait histogram
 	httpDur   histogram
+
+	// tenantWait buckets queue wait per tenant (the SLO signal the fair
+	// scheduler is judged by). Tenants appear on first observation; the
+	// bucket ladder is queueWait's.
+	tenantMu    sync.Mutex
+	tenantWait  map[string]*histogram
+	waitBuckets []float64
+}
+
+// observeTenantWait records one job's queue wait under its tenant.
+func (m *metrics) observeTenantWait(tenant string, seconds float64) {
+	m.tenantMu.Lock()
+	h, ok := m.tenantWait[tenant]
+	if !ok {
+		h = &histogram{}
+		h.init(m.waitBuckets)
+		m.tenantWait[tenant] = h
+	}
+	m.tenantMu.Unlock()
+	h.observe(seconds)
+}
+
+// tenantWaits snapshots the per-tenant histograms in sorted-name order
+// for deterministic scrape output.
+func (m *metrics) tenantWaits() (names []string, hists []*histogram) {
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	for name := range m.tenantWait {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		hists = append(hists, m.tenantWait[name])
+	}
+	return names, hists
 }
 
 // stallBucketNames labels m.stallCycles in stats.CycleBuckets field order.
@@ -83,6 +122,8 @@ func (m *metrics) init(queueWaitBuckets []float64) {
 	}
 	m.queueWait.init(queueWaitBuckets)
 	m.httpDur.init(defaultHTTPBuckets)
+	m.tenantWait = make(map[string]*histogram)
+	m.waitBuckets = queueWaitBuckets
 }
 
 // observeSnapshot feeds the per-interval series from a run's progress
@@ -177,6 +218,38 @@ func (h *histogram) snapshot() (cum []uint64, sum float64, count uint64) {
 	return cum, h.sum, h.count
 }
 
+// fairnessIndex computes Jain's fairness index over each tenant's
+// service-per-weight ratio (popped/weight): (Σx)² / (n·Σx²). 1.0 means
+// every tenant received service exactly proportional to its weight;
+// 1/n means one tenant got everything. Tenants that have never been
+// served and have nothing queued are skipped (an idle tenant is not
+// evidence of unfairness), and fewer than two active tenants report 1.
+func fairnessIndex(tenants []TenantSnapshot) float64 {
+	var xs []float64
+	for _, t := range tenants {
+		if t.Popped == 0 && t.Queued == 0 && t.Running == 0 {
+			continue
+		}
+		w := float64(t.Weight)
+		if w <= 0 {
+			w = 1
+		}
+		xs = append(xs, float64(t.Popped)/w)
+	}
+	if len(xs) < 2 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
 // renderHistogram writes one histogram family.
 func renderHistogram(w io.Writer, h *histogram, name, help string) {
 	cum, sum, count := h.snapshot()
@@ -192,8 +265,9 @@ func renderHistogram(w io.Writer, h *histogram, name, help string) {
 // render writes every series. queued is sampled by the caller (it is the
 // live queue length, owned by the Server); dccLevels is the distribution
 // of Dynamic Configuration Counter levels across currently running jobs
-// (index = level 1..5; index 0 unused), likewise sampled by the caller.
-func (m *metrics) render(w io.Writer, queued int, uptime time.Duration, dccLevels [6]int, tenants []TenantSnapshot, sweepsActive int) {
+// (index = level 1..5; index 0 unused), likewise sampled by the caller,
+// as are the flight recorder's held/evicted span counts.
+func (m *metrics) render(w io.Writer, queued int, uptime time.Duration, dccLevels [6]int, tenants []TenantSnapshot, sweepsActive int, spansHeld int, spansDropped uint64) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP fdpserved_%s %s\n# TYPE fdpserved_%s counter\nfdpserved_%s %d\n", name, help, name, name, v)
 	}
@@ -226,6 +300,17 @@ func (m *metrics) render(w io.Writer, queued int, uptime time.Duration, dccLevel
 	}
 	gauge("sim_cycles_per_second", "Simulation throughput: simulated cycles per wall-clock second.", cps)
 	gauge("uptime_seconds", "Seconds since the server started.", uptime.Seconds())
+	// process_start_time_seconds is a Prometheus convention name
+	// (clients compute process restarts from it), so unlike everything
+	// else here it is deliberately not fdpserved_-prefixed.
+	fmt.Fprintf(w, "# HELP process_start_time_seconds Unix time the server started, for rate() alignment.\n")
+	fmt.Fprintf(w, "# TYPE process_start_time_seconds gauge\n")
+	fmt.Fprintf(w, "process_start_time_seconds %g\n", float64(time.Now().Add(-uptime).Unix()))
+
+	version, goVersion := buildVersion()
+	fmt.Fprintf(w, "# HELP fdpserved_build_info Build metadata; the value is always 1.\n")
+	fmt.Fprintf(w, "# TYPE fdpserved_build_info gauge\n")
+	fmt.Fprintf(w, "fdpserved_build_info{version=%q,go_version=%q} 1\n", version, goVersion)
 
 	intervals := m.intervals.Load()
 	counter("sim_intervals_total", "FDP sampling intervals closed across all runs.", intervals)
@@ -253,6 +338,11 @@ func (m *metrics) render(w io.Writer, queued int, uptime time.Duration, dccLevel
 	counter("fleet_claims_acquired_total", "Fingerprint claims this worker won (fresh or stolen).", m.claimsAcquired.Load())
 	counter("fleet_claims_stolen_total", "Claims won by stealing an expired lease from a dead worker.", m.claimsStolen.Load())
 	counter("fleet_claim_waits_total", "Backoff waits on a claim held live by another worker.", m.claimsWaited.Load())
+	counter("fleet_lease_lost_total", "Mid-run lease renewals that found the lease stolen or gone.", m.leaseLost.Load())
+
+	counter("spans_recorded_total", "Fabric spans recorded into job traces and the flight recorder.", m.spansRecorded.Load())
+	counter("spans_dropped_total", "Fabric spans evicted from the flight recorder to admit newer ones.", spansDropped)
+	gauge("spans_held", "Fabric spans currently in the flight recorder (/debug/events).", float64(spansHeld))
 
 	// Sweep families keep the sim_sweep_* naming the sweep fabric is
 	// documented under (docs/SWEEPS.md) rather than the fdpserved_ prefix.
@@ -276,6 +366,29 @@ func (m *metrics) render(w io.Writer, queued int, uptime time.Duration, dccLevel
 		fmt.Fprintf(w, "# HELP fdpserved_tenant_jobs_popped_total Jobs handed to workers, per tenant.\n# TYPE fdpserved_tenant_jobs_popped_total counter\n")
 		for _, t := range tenants {
 			fmt.Fprintf(w, "fdpserved_tenant_jobs_popped_total{tenant=%q} %d\n", t.Name, t.Popped)
+		}
+		// Starvation: how long each tenant's oldest queued job has waited.
+		// A tenant whose oldest wait grows while others pop is being starved.
+		fmt.Fprintf(w, "# HELP fdpserved_tenant_oldest_wait_seconds Age of each tenant's oldest queued job (0 when its queue is empty).\n# TYPE fdpserved_tenant_oldest_wait_seconds gauge\n")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "fdpserved_tenant_oldest_wait_seconds{tenant=%q} %g\n", t.Name, t.OldestWait.Seconds())
+		}
+		gauge("scheduler_fairness", "Jain fairness index over per-tenant popped/weight ratios (1 = perfectly weight-proportional service).", fairnessIndex(tenants))
+	}
+
+	// Per-tenant queue-wait SLO histograms: one family, one series set per
+	// tenant that has had a job dispatched.
+	if names, hists := m.tenantWaits(); len(names) > 0 {
+		fmt.Fprintf(w, "# HELP fdpserved_tenant_queue_wait_seconds Time jobs spent waiting for a worker, per tenant.\n# TYPE fdpserved_tenant_queue_wait_seconds histogram\n")
+		for i, name := range names {
+			h := hists[i]
+			cum, sum, count := h.snapshot()
+			for k, b := range h.bounds {
+				fmt.Fprintf(w, "fdpserved_tenant_queue_wait_seconds_bucket{tenant=%q,le=\"%g\"} %d\n", name, b, cum[k])
+			}
+			fmt.Fprintf(w, "fdpserved_tenant_queue_wait_seconds_bucket{tenant=%q,le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
+			fmt.Fprintf(w, "fdpserved_tenant_queue_wait_seconds_sum{tenant=%q} %g\n", name, sum)
+			fmt.Fprintf(w, "fdpserved_tenant_queue_wait_seconds_count{tenant=%q} %d\n", name, count)
 		}
 	}
 

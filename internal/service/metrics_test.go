@@ -80,7 +80,7 @@ func TestMetricsNewSeries(t *testing.T) {
 	m.httpDur.observe(0.002)
 
 	var buf bytes.Buffer
-	m.render(&buf, 0, 10*time.Second, [6]int{0, 0, 1, 0, 0, 2}, nil, 0)
+	m.render(&buf, 0, 10*time.Second, [6]int{0, 0, 1, 0, 0, 2}, nil, 0, 0, 0)
 	out := buf.String()
 
 	for _, want := range []string{

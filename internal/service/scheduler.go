@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"fdpsim/internal/sweep"
 )
@@ -48,6 +49,9 @@ type TenantSnapshot struct {
 	Queued  int
 	Running int
 	Popped  uint64
+	// OldestWait is how long the tenant's oldest queued job has been
+	// waiting (zero for an empty queue) — the starvation signal.
+	OldestWait time.Duration
 }
 
 // fairQueue replaces the service's bare FIFO channel with a per-tenant
@@ -284,15 +288,25 @@ func (q *fairQueue) snapshot() []TenantSnapshot {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	out := make([]TenantSnapshot, 0, len(q.order))
+	now := time.Now()
 	for _, name := range q.order {
 		ts := q.tenants[name]
-		out = append(out, TenantSnapshot{
+		snap := TenantSnapshot{
 			Name:    ts.name,
 			Weight:  ts.weight,
 			Queued:  len(ts.queue),
 			Running: ts.running,
 			Popped:  ts.popped,
-		})
+		}
+		// The queue is priority-ordered, not FIFO, so the oldest job can
+		// sit anywhere in it; submittedAt is immutable after Submit, so
+		// reading it without the job's lock is safe.
+		for _, j := range ts.queue {
+			if w := now.Sub(j.submittedAt); w > snap.OldestWait {
+				snap.OldestWait = w
+			}
+		}
+		out = append(out, snap)
 	}
 	return out
 }

@@ -26,6 +26,7 @@ import (
 	"io"
 	"log/slog"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,6 +100,14 @@ type Config struct {
 	// is at-least-once, results are exactly-once via the store's atomic
 	// writes. 0 means 32.
 	ClaimAttempts int
+
+	// SpanLimit caps the fabric-span flight recorder (GET /debug/events):
+	// the last N spans across all jobs, oldest evicted. 0 means 4096.
+	SpanLimit int
+	// SSEKeepalive is the idle interval after which the SSE handlers emit
+	// a ": keepalive" comment frame so intermediaries do not drop a quiet
+	// stream. 0 means 15s; negative disables keepalives.
+	SSEKeepalive time.Duration
 }
 
 // JobState is a job's lifecycle phase.
@@ -156,6 +165,15 @@ type Job struct {
 	// immediately on a cache hit whose trace the store still has).
 	trace      *obs.Collector
 	traceJSONL []byte
+
+	// Fabric trace identity (immutable after Submit): traceID threads the
+	// job's spans, rootSpan is its "job" span ID, parentSpan links it under
+	// a submitter's span (sweep root, or an X-Fdp-Trace header). spans are
+	// the completed fabric spans, guarded by mu.
+	traceID    string
+	rootSpan   string
+	parentSpan string
+	spans      []obs.Span
 }
 
 // ID returns the job's identifier.
@@ -296,6 +314,9 @@ type Server struct {
 	started time.Time
 	reqSeq  atomic.Uint64 // HTTP request IDs for log correlation
 	m       metrics
+	// spans is the fabric-span flight recorder behind /debug/events: the
+	// last Config.SpanLimit spans across all jobs, drop-oldest.
+	spans *obs.SpanBuffer
 }
 
 // defaultTraceLimit bounds a traced job's in-memory event buffer.
@@ -321,6 +342,9 @@ func New(cfg Config) *Server {
 	if cfg.FleetWorker != "" && cfg.Store == nil {
 		cfg.FleetWorker = "" // fleet coordination lives in the store
 	}
+	if cfg.SSEKeepalive == 0 {
+		cfg.SSEKeepalive = 15 * time.Second
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -336,6 +360,7 @@ func New(cfg Config) *Server {
 		memo:       make(map[string]sim.Result),
 		sweeps:     make(map[string]*Sweep),
 		started:    time.Now(),
+		spans:      &obs.SpanBuffer{Limit: cfg.SpanLimit},
 	}
 	s.m.init(cfg.QueueWaitBuckets)
 	for w := 0; w < cfg.Workers; w++ {
@@ -403,12 +428,14 @@ func (s *Server) storeResult(fp string, res sim.Result) {
 type SubmitOption func(*submitOptions)
 
 type submitOptions struct {
-	trace    bool
-	spec     *spec.Spec
-	specSet  bool // WithWorkloadSpec given, even with a nil spec (rejected)
-	tenant   string
-	priority int
-	sweepID  string // set by SubmitSweep; sweep jobs bypass queued quotas
+	trace      bool
+	spec       *spec.Spec
+	specSet    bool // WithWorkloadSpec given, even with a nil spec (rejected)
+	tenant     string
+	priority   int
+	sweepID    string // set by SubmitSweep; sweep jobs bypass queued quotas
+	traceID    string // fabric trace to join (WithTraceContext); "" = fresh
+	parentSpan string
 }
 
 // WithDecisionTrace makes the job collect its FDP decision trace (one
@@ -492,6 +519,11 @@ func (s *Server) Submit(cfg sim.Config, opts ...SubmitOption) (*Job, error) {
 		return nil, err
 	}
 
+	traceID := o.traceID
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -506,6 +538,9 @@ func (s *Server) Submit(cfg sim.Config, opts ...SubmitOption) (*Job, error) {
 		tenant:      tenant,
 		priority:    o.priority,
 		sweepID:     o.sweepID,
+		traceID:     traceID,
+		rootSpan:    obs.NewSpanID(),
+		parentSpan:  o.parentSpan,
 		state:       StateQueued,
 		submittedAt: time.Now(),
 		subs:        make(map[int]chan sim.Snapshot),
@@ -531,7 +566,12 @@ func (s *Server) Submit(cfg sim.Config, opts ...SubmitOption) (*Job, error) {
 		job.cacheHit = true
 		job.traceJSONL = trace
 		job.finishLocked(StateDone, &res, "")
+		submitted, finished := job.submittedAt, job.finishedAt
 		job.mu.Unlock()
+		s.addSpan(job, obs.Span{SpanID: job.rootSpan, Parent: job.parentSpan,
+			Name: "job", Start: submitted, End: finished,
+			Attrs: map[string]string{"outcome": "cache_hit", "tenant": job.tenant}})
+		s.writeProvenance(job, store.OutcomeCacheHit, "", -1, false, 0, 0, 0)
 		s.log.Info("job done", "job", job.id, "cache_hit", true, "trace", trace != nil)
 		return job, nil
 	}
@@ -633,9 +673,13 @@ func (s *Server) runJob(job *Job) {
 	defer cancel(nil)
 
 	s.m.queueWait.observe(wait.Seconds())
+	s.m.observeTenantWait(job.tenant, wait.Seconds())
 	s.m.running.Add(1)
 	defer s.m.running.Add(-1)
 	s.log.Info("job started", "job", job.id, "queue_wait", wait)
+	s.addSpan(job, obs.Span{Parent: job.rootSpan, Name: "queue",
+		Start: job.submittedAt, End: job.startedAt,
+		Attrs: map[string]string{"tenant": job.tenant}})
 
 	runCtx := ctx
 	if s.cfg.JobTimeout > 0 {
@@ -651,25 +695,49 @@ func (s *Server) runJob(job *Job) {
 	// executing locally: execution is at-least-once, results are
 	// exactly-once through the store's atomic Put.
 	var fleetAcquired bool
+	claimGen, claimStolen := -1, false
 	if s.cfg.FleetWorker != "" {
-		acquired, res, fromStore := s.fleetClaim(runCtx, job)
+		claimStart := time.Now()
+		acquired, res, fromStore, info, claimEvents := s.fleetClaim(runCtx, job)
+		claimSpan := obs.Span{Parent: job.rootSpan, Name: "claim",
+			Start: claimStart, End: time.Now(), Events: claimEvents,
+			Attrs: map[string]string{"worker": s.cfg.FleetWorker}}
 		if fromStore {
+			claimSpan.Attrs["outcome"] = "adopted"
+			if info.Trace != "" {
+				claimSpan.Attrs["executor_trace"] = info.Trace
+			}
+			s.addSpan(job, claimSpan)
 			s.storeResult(job.fp, res)
 			s.m.fleetAdopted.Add(1)
 			s.m.completed.Add(1)
 			job.mu.Lock()
 			job.cacheHit = true
 			job.finishLocked(StateDone, &res, "")
+			submitted, finished := job.submittedAt, job.finishedAt
 			job.mu.Unlock()
+			s.addSpan(job, obs.Span{SpanID: job.rootSpan, Parent: job.parentSpan,
+				Name: "job", Start: submitted, End: finished,
+				Attrs: map[string]string{"outcome": "adopted", "tenant": job.tenant}})
+			s.writeProvenance(job, store.OutcomeAdopted, "", -1, false, wait, 0, 0)
 			s.log.Info("job finished", "job", job.id, "state", "done", "fleet_adopted", true)
 			return
 		}
 		fleetAcquired = acquired
 		if fleetAcquired {
+			claimGen, claimStolen = info.Gen(), info.Stolen
+			claimSpan.Attrs["outcome"] = "acquired"
+			claimSpan.Attrs["lease_gen"] = strconv.Itoa(claimGen)
+			if claimStolen {
+				claimSpan.Attrs["stolen"] = "true"
+			}
 			// The claim outlives the run only until the result is stored;
 			// released on every exit so a failed run frees the fingerprint.
 			defer s.cfg.Store.Release(job.fp, s.cfg.FleetWorker)
+		} else {
+			claimSpan.Attrs["outcome"] = "local_fallback"
 		}
+		s.addSpan(job, claimSpan)
 	}
 
 	cfg := job.cfg
@@ -677,6 +745,9 @@ func (s *Server) runJob(job *Job) {
 		s.m.observeSnapshot(intervalSample{final: snap.Final, insertion: snap.Insertion, sample: snap.Sample})
 		job.publish(snap)
 	}
+	// runEvents collects in-run span events (lease renewals and losses);
+	// Progress runs synchronously on this goroutine, so no lock is needed.
+	var runEvents []obs.SpanEvent
 	if fleetAcquired {
 		// Piggyback lease renewal on progress so a live simulation never
 		// loses its claim; a renewal that fails (lease stolen after a long
@@ -688,7 +759,11 @@ func (s *Server) runJob(job *Job) {
 			inner(snap)
 			if time.Since(lastRenew) >= s.cfg.LeaseTTL/3 {
 				lastRenew = time.Now()
-				if !s.cfg.Store.Renew(job.fp, s.cfg.FleetWorker, s.cfg.LeaseTTL) {
+				if s.cfg.Store.Renew(job.fp, s.cfg.FleetWorker, s.cfg.LeaseTTL) {
+					runEvents = append(runEvents, obs.SpanEvent{Name: "lease-renew", Time: time.Now()})
+				} else {
+					s.m.leaseLost.Add(1)
+					runEvents = append(runEvents, obs.SpanEvent{Name: "lease-lost", Time: time.Now()})
 					s.log.Warn("fleet lease lost mid-run", "job", job.id, "fingerprint", shortFP(job.fp))
 				}
 			}
@@ -699,6 +774,7 @@ func (s *Server) runJob(job *Job) {
 		cfg.Tracer = job.trace
 	}
 	s.m.executions.Add(1)
+	runStart := time.Now()
 	var res sim.Result
 	var err error
 	if job.spec != nil {
@@ -706,9 +782,22 @@ func (s *Server) runJob(job *Job) {
 	} else {
 		res, err = sim.RunContext(runCtx, cfg)
 	}
+	runDur := time.Since(runStart)
 
 	s.m.simCycles.Add(res.Counters.Cycles)
 	s.m.simNanos.Add(uint64(res.Elapsed.Nanoseconds()))
+
+	runSpan := obs.Span{Parent: job.rootSpan, Name: "run",
+		Start: runStart, End: runStart.Add(runDur), Events: runEvents,
+		Attrs: map[string]string{
+			"workload":  cfg.Workload,
+			"intervals": strconv.FormatUint(res.Intervals, 10),
+		}}
+	if job.trace != nil {
+		// Link the fabric span to the in-run DecisionEvent stream it wraps.
+		runSpan.Attrs["decision_events"] = strconv.Itoa(len(job.trace.Events()))
+	}
+	s.addSpan(job, runSpan)
 
 	// Render the decision trace before finishing so Trace() and the HTTP
 	// trace endpoint see a complete artifact the moment Done() closes.
@@ -735,10 +824,15 @@ func (s *Server) runJob(job *Job) {
 		}
 	}
 
+	var storeDur time.Duration
 	if err == nil {
 		// Cache before finishing so a poller that sees state "done" and
 		// immediately resubmits an identical config gets the hit.
+		storeStart := time.Now()
 		s.storeResult(job.fp, res)
+		storeDur = time.Since(storeStart)
+		s.addSpan(job, obs.Span{Parent: job.rootSpan, Name: "store",
+			Start: storeStart, End: storeStart.Add(storeDur)})
 	}
 	job.mu.Lock()
 	job.traceJSONL = traceJSONL
@@ -755,7 +849,20 @@ func (s *Server) runJob(job *Job) {
 		job.finishLocked(StateFailed, nil, err.Error())
 	}
 	state, started := job.state, job.startedAt
+	submitted, finished := job.submittedAt, job.finishedAt
 	job.mu.Unlock()
+
+	s.addSpan(job, obs.Span{SpanID: job.rootSpan, Parent: job.parentSpan,
+		Name: "job", Start: submitted, End: finished,
+		Attrs: map[string]string{"outcome": string(state), "tenant": job.tenant}})
+	outcome, errMsg := store.OutcomeExecuted, ""
+	switch {
+	case errors.Is(err, sim.ErrCancelled):
+		outcome, errMsg = store.OutcomeCancelled, err.Error()
+	case err != nil:
+		outcome, errMsg = store.OutcomeFailed, err.Error()
+	}
+	s.writeProvenance(job, outcome, errMsg, claimGen, claimStolen, wait, runDur, storeDur)
 
 	attrs := []any{"job", job.id, "state", string(state),
 		"duration", time.Since(started), "intervals", res.Intervals}
@@ -771,43 +878,49 @@ func (s *Server) runJob(job *Job) {
 // fleet. It returns fromStore with the finished result when another
 // worker completed it, acquired when this worker won the claim, or
 // neither when the bounded retries ran out (execute locally) or ctx
-// ended (the run exits immediately anyway).
-func (s *Server) fleetClaim(ctx context.Context, job *Job) (acquired bool, res sim.Result, fromStore bool) {
+// ended (the run exits immediately anyway). info describes the claim
+// outcome (the acquired lease, or the holder observed last); events are
+// the negotiation's span events (waits, steals) for the claim span.
+func (s *Server) fleetClaim(ctx context.Context, job *Job) (acquired bool, res sim.Result, fromStore bool, info store.ClaimInfo, events []obs.SpanEvent) {
 	st := s.cfg.Store
 	backoff := 25 * time.Millisecond
 	for attempt := 0; attempt < s.cfg.ClaimAttempts; attempt++ {
-		state, info, err := st.Claim(job.fp, s.cfg.FleetWorker, s.cfg.LeaseTTL)
+		state, cur, err := st.ClaimTrace(job.fp, s.cfg.FleetWorker, s.cfg.LeaseTTL, job.traceID)
 		if err != nil {
 			s.log.Warn("fleet claim error; executing locally", "job", job.id, "error", err)
-			return false, sim.Result{}, false
+			return false, sim.Result{}, false, cur, events
 		}
 		switch state {
 		case store.ClaimDone:
 			if r, ok := st.Get(job.fp); ok {
-				return false, r, true
+				return false, r, true, cur, events
 			}
 			// The result was discarded as corrupt between Claim and Get;
 			// recover by executing locally.
-			return false, sim.Result{}, false
+			return false, sim.Result{}, false, cur, events
 		case store.ClaimAcquired:
 			s.m.claimsAcquired.Add(1)
-			if info.Stolen {
+			if cur.Stolen {
 				s.m.claimsStolen.Add(1)
+				events = append(events, obs.SpanEvent{Name: "lease-steal", Time: time.Now(),
+					Attrs: map[string]string{"lease_gen": strconv.Itoa(cur.Gen())}})
 				s.log.Info("fleet claim stolen from expired lease", "job", job.id,
 					"fingerprint", shortFP(job.fp))
 			}
-			return true, sim.Result{}, false
+			return true, sim.Result{}, false, cur, events
 		case store.ClaimHeld:
 			s.m.claimsWaited.Add(1)
 			wait := backoff
 			// Never sleep far past the holder's lease: the moment it
 			// expires this worker is eligible to steal.
-			if until := time.Until(info.Expires); until > 0 && until+5*time.Millisecond < wait {
+			if until := time.Until(cur.Expires); until > 0 && until+5*time.Millisecond < wait {
 				wait = until + 5*time.Millisecond
 			}
+			events = append(events, obs.SpanEvent{Name: "claim-wait", Time: time.Now(),
+				Attrs: map[string]string{"holder": cur.Owner, "wait": wait.String()}})
 			select {
 			case <-ctx.Done():
-				return false, sim.Result{}, false
+				return false, sim.Result{}, false, cur, events
 			case <-time.After(wait):
 			}
 			if backoff < 2*time.Second {
@@ -817,7 +930,7 @@ func (s *Server) fleetClaim(ctx context.Context, job *Job) (acquired bool, res s
 	}
 	s.log.Warn("fleet claim attempts exhausted; executing locally",
 		"job", job.id, "fingerprint", shortFP(job.fp), "attempts", s.cfg.ClaimAttempts)
-	return false, sim.Result{}, false
+	return false, sim.Result{}, false, store.ClaimInfo{}, events
 }
 
 // Executions returns how many simulations this server actually ran

@@ -2,10 +2,12 @@ package service
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"fdpsim/internal/harness"
+	"fdpsim/internal/obs"
 	"fdpsim/internal/sweep"
 )
 
@@ -18,6 +20,14 @@ type Sweep struct {
 	name    string
 	tenant  string
 	created time.Time
+
+	// traceID threads every job the sweep expands (and, via claim files,
+	// every fleet worker that touches them) into one fabric trace;
+	// rootSpan is the sweep's own span, the parent of each job span, and
+	// parentSpan links it under a submitter's span (X-Fdp-Trace header).
+	traceID    string
+	rootSpan   string
+	parentSpan string
 
 	units []sweep.Unit
 
@@ -32,6 +42,9 @@ type Sweep struct {
 
 // ID returns the sweep's identifier.
 func (sw *Sweep) ID() string { return sw.id }
+
+// TraceID returns the fabric trace threading the sweep's jobs.
+func (sw *Sweep) TraceID() string { return sw.traceID }
 
 // Done returns a channel closed when every cell is terminal.
 func (sw *Sweep) Done() <-chan struct{} { return sw.done }
@@ -66,6 +79,12 @@ type SweepStatus struct {
 // queued quotas — the grid is bounded by sweep.MaxJobs at expansion).
 // Expansion failures wrap sweep.ErrInvalid (HTTP 400, exit code 2).
 func (s *Server) SubmitSweep(req sweep.Request) (*Sweep, error) {
+	return s.SubmitSweepTrace(req, "", "")
+}
+
+// SubmitSweepTrace is SubmitSweep joining an existing fabric trace (from
+// the X-Fdp-Trace submission header). Empty traceID starts a fresh one.
+func (s *Server) SubmitSweepTrace(req sweep.Request, traceID, parentSpan string) (*Sweep, error) {
 	units, err := req.Expand()
 	if err != nil {
 		return nil, err
@@ -83,17 +102,23 @@ func (s *Server) SubmitSweep(req sweep.Request) (*Sweep, error) {
 		s.mu.Unlock()
 		return nil, ErrShuttingDown
 	}
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
 	s.nextSweep++
 	sw := &Sweep{
-		id:      fmt.Sprintf("sweep-%04d", s.nextSweep),
-		name:    req.Name,
-		tenant:  tenant,
-		created: time.Now(),
-		units:   units,
-		state:   "running",
-		subs:    make(map[int]chan SweepEvent),
-		done:    make(chan struct{}),
+		id:       fmt.Sprintf("sweep-%04d", s.nextSweep),
+		name:     req.Name,
+		tenant:   tenant,
+		created:  time.Now(),
+		traceID:  traceID,
+		rootSpan: obs.NewSpanID(),
+		units:    units,
+		state:    "running",
+		subs:     make(map[int]chan SweepEvent),
+		done:     make(chan struct{}),
 	}
+	sw.parentSpan = parentSpan
 	s.sweeps[sw.id] = sw
 	s.mu.Unlock()
 
@@ -106,7 +131,8 @@ func (s *Server) SubmitSweep(req sweep.Request) (*Sweep, error) {
 			jobs[i] = j
 			continue
 		}
-		opts := []SubmitOption{WithTenant(tenant), WithPriority(req.Priority), forSweep(sw.id)}
+		opts := []SubmitOption{WithTenant(tenant), WithPriority(req.Priority), forSweep(sw.id),
+			WithTraceContext(sw.traceID, sw.rootSpan)}
 		if u.Spec != nil {
 			opts = append(opts, WithWorkloadSpec(u.Spec))
 		}
@@ -348,11 +374,53 @@ func (s *Server) sweepTick(sw *Sweep) {
 		}
 	}
 	state := sw.state
+	created, finished := sw.created, sw.finishedAt
 	sw.mu.Unlock()
 
 	if state != "running" {
+		// The sweep's root span completes when its last cell lands; every
+		// job span already parents onto it via WithTraceContext.
+		s.spans.RecordSpan(obs.Span{
+			TraceID: sw.traceID, SpanID: sw.rootSpan, Parent: sw.parentSpan,
+			Name: "sweep", Actor: s.actor(), Lane: sw.tenant,
+			Start: created, End: finished,
+			Attrs: map[string]string{
+				"sweep": sw.id, "outcome": state,
+				"cells": strconv.Itoa(sum.Total), "done": strconv.Itoa(sum.Done),
+			}})
+		s.m.spansRecorded.Add(1)
 		s.log.Info("sweep finished", "sweep", sw.id, "state", state,
 			"done", sum.Done, "failed", sum.Failed, "cancelled", sum.Cancelled,
 			"cache_hits", sum.CacheHits)
 	}
+}
+
+// Spans gathers the sweep's fabric spans: the sweep root (once terminal)
+// plus every distinct job's spans, for GET /v1/sweeps/{id}/trace. The
+// root span is synthesized live for a still-running sweep so a partial
+// trace still renders.
+func (s *Server) sweepSpans(sw *Sweep) []obs.Span {
+	sw.mu.Lock()
+	jobs := sw.jobs
+	state := sw.state
+	created, finished := sw.created, sw.finishedAt
+	sw.mu.Unlock()
+	if finished.IsZero() {
+		finished = time.Now()
+	}
+	out := []obs.Span{{
+		TraceID: sw.traceID, SpanID: sw.rootSpan, Parent: sw.parentSpan,
+		Name: "sweep", Actor: s.actor(), Lane: sw.tenant,
+		Start: created, End: finished,
+		Attrs: map[string]string{"sweep": sw.id, "outcome": state},
+	}}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if j == nil || seen[j.id] {
+			continue
+		}
+		seen[j.id] = true
+		out = append(out, j.Spans()...)
+	}
+	return out
 }

@@ -75,12 +75,21 @@ type ClaimInfo struct {
 	Owner   string    `json:"owner"`
 	Nonce   string    `json:"nonce"`
 	Expires time.Time `json:"expires"`
+	// Trace carries the fabric trace ID of the job the owner is executing,
+	// so a worker adopting or waiting on this claim can link its spans to
+	// the same trace as the executor's.
+	Trace string `json:"trace,omitempty"`
 
 	// Stolen marks an acquisition that superseded an expired or corrupt
 	// claim rather than creating a fresh one. Not persisted.
 	Stolen bool `json:"-"`
 	gen    int
 }
+
+// Gen returns the claim's generation number: 0 for a fresh acquire,
+// incremented by each steal. The lease generation in provenance ledger
+// entries is this value.
+func (c ClaimInfo) Gen() int { return c.gen }
 
 const claimSuffix = ".claim"
 
@@ -132,6 +141,12 @@ func newNonce() (string, error) {
 // identifies itself as owner (fleet worker names must be unique). See
 // ClaimState for the three outcomes.
 func (s *Store) Claim(fp, owner string, ttl time.Duration) (ClaimState, ClaimInfo, error) {
+	return s.ClaimTrace(fp, owner, ttl, "")
+}
+
+// ClaimTrace is Claim carrying a fabric trace ID, persisted in the claim
+// file so other workers touching this fingerprint can join the trace.
+func (s *Store) ClaimTrace(fp, owner string, ttl time.Duration, trace string) (ClaimState, ClaimInfo, error) {
 	if !validFP(fp) {
 		return ClaimHeld, ClaimInfo{}, fmt.Errorf("store: invalid fingerprint %q", fp)
 	}
@@ -153,9 +168,21 @@ func (s *Store) Claim(fp, owner string, ttl time.Duration) (ClaimState, ClaimInf
 	// No claim, an expired lease, or a crash-torn file: race the
 	// exclusive create of the next generation. Exactly one contender wins.
 	next := gen + 1
-	info, err := s.createClaim(fp, next, owner, ttl)
+	info, err := s.createClaim(fp, next, owner, ttl, trace)
 	switch {
 	case err == nil:
+		// Re-check for a result now that the claim is ours: the opening
+		// stat and the exclusive create are not atomic, so a finishing
+		// worker can Put and Release entirely between them — leaving no
+		// claim to observe and no result at stat time. The re-check is
+		// authoritative in that direction: Put always precedes Release,
+		// so any claim acquired after a Release sees the result here.
+		// This turns the common adopt-after-finish race from duplicate
+		// execution into ClaimDone.
+		if _, serr := os.Stat(s.path(fp)); serr == nil {
+			os.Remove(s.claimPath(fp, next))
+			return ClaimDone, ClaimInfo{}, nil
+		}
 		info.Stolen = gen >= 0
 		if info.Stolen {
 			// The superseded generations are dead weight; removing them is
@@ -180,12 +207,12 @@ func (s *Store) Claim(fp, owner string, ttl time.Duration) (ClaimState, ClaimInf
 }
 
 // createClaim exclusively creates one generation file.
-func (s *Store) createClaim(fp string, gen int, owner string, ttl time.Duration) (ClaimInfo, error) {
+func (s *Store) createClaim(fp string, gen int, owner string, ttl time.Duration, trace string) (ClaimInfo, error) {
 	nonce, err := newNonce()
 	if err != nil {
 		return ClaimInfo{}, err
 	}
-	info := ClaimInfo{Version: entryVersion, Owner: owner, Nonce: nonce, Expires: time.Now().Add(ttl), gen: gen}
+	info := ClaimInfo{Version: entryVersion, Owner: owner, Nonce: nonce, Expires: time.Now().Add(ttl), Trace: trace, gen: gen}
 	raw, err := json.Marshal(info)
 	if err != nil {
 		return ClaimInfo{}, fmt.Errorf("store: %w", err)
