@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build build-cmds vet lint test test-short test-race fleet-e2e check bench bench-core bench-trace bench-json trace-smoke experiments serve fuzz fuzz-smoke clean
+.PHONY: all build build-cmds vet lint test test-short test-race fleet-e2e check bench bench-core bench-trace bench-json controller-equivalence trace-smoke experiments serve fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -70,13 +70,20 @@ bench-core:
 		echo "benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest) — single run only, no comparison"
 
 # Machine-readable benchmark snapshot: runs the core hot-path
-# benchmarks and archives them as BENCH_8.json at the repo root (CI
+# benchmarks and archives them as BENCH_9.json at the repo root (CI
 # uploads the same file as a build artifact). The JSON carries goos/
 # goarch/cpu context, so snapshots from different machines are
 # distinguishable; compare like with like.
 bench-json:
 	go test ./internal/sim -run xxx -bench 'BenchmarkIntervalBoundary|BenchmarkPerInstruction' -benchmem \
-		| go run ./cmd/benchjson -out BENCH_8.json
+		| go run ./cmd/benchjson -out BENCH_9.json
+
+# The controller-refactor equivalence gate: the engine goldens, plus the
+# same single-core FDP suite rerun with the Table 2 policy selected
+# explicitly through the internal/control registry. -count=1 defeats the
+# test cache so the gate always simulates for real.
+controller-equivalence:
+	go test . -run 'TestEngineGolden|TestControllerEquivalence' -count=1
 
 # The tracer hot-path guard: the interval boundary must stay
 # allocation-free with tracing disabled (and with a no-op tracer).
@@ -100,18 +107,22 @@ experiments:
 serve:
 	go run ./cmd/fdpserved -addr :8080 -cache-dir .fdpcache
 
-# go test runs one fuzz target per invocation, so the v1 and v2 decoders
-# fuzz back to back (patterns anchored: "FuzzReader" alone would match
-# both and go test refuses an ambiguous -fuzz).
+# go test runs one fuzz target per invocation, so the decoders fuzz back
+# to back (patterns anchored: "FuzzReader" alone would match both trace
+# targets and go test refuses an ambiguous -fuzz). FuzzTreeModel hammers
+# the controller model loader: malformed JSON must return ErrInvalid,
+# never panic, and a model that loads must never decide out of range.
 fuzz:
 	go test ./internal/trace -run xxx -fuzz 'FuzzReader$$' -fuzztime 30s
 	go test ./internal/trace -run xxx -fuzz 'FuzzReaderV2$$' -fuzztime 30s
+	go test ./internal/control -run xxx -fuzz 'FuzzTreeModel$$' -fuzztime 30s
 
-# The 10-second-per-decoder slice CI runs on every PR, so trace-decoder
-# fuzz regressions surface before merge rather than in nightly runs.
+# The 10-second-per-target slice CI runs on every PR, so decoder and
+# model-loader fuzz regressions surface before merge, not in nightlies.
 fuzz-smoke:
 	go test ./internal/trace -run xxx -fuzz 'FuzzReader$$' -fuzztime 10s
 	go test ./internal/trace -run xxx -fuzz 'FuzzReaderV2$$' -fuzztime 10s
+	go test ./internal/control -run xxx -fuzz 'FuzzTreeModel$$' -fuzztime 10s
 
 clean:
 	go clean ./...

@@ -8,7 +8,16 @@
 //	fdpsim -workload chaserand -fdp -trace-out decisions.jsonl
 //	fdpsim -workload chaserand -fdp -trace-out trace.json -trace-format chrome
 //	fdpsim -spec svc.yaml -fdp -insts 2000000
+//	fdpsim -workload chaserand -fdp -controller dspatch-dual
+//	fdpsim -workload chaserand -fdp -controller tree -controller-model tree.json
+//	fdpsim -workload chaserand -fdp -decision-log features.csv
 //	fdpsim -list
+//
+// -controller swaps the feedback decision policy (the paper's Table 2
+// logic, the default) for a registered competitor; -list names them.
+// -controller-model loads a decision-tree model file for the "tree"
+// controller. -decision-log writes a per-interval CSV feature dump —
+// the training data for scripts/train_tree.go (see docs/CONTROLLERS.md).
 //
 // -spec loads a declarative WorkloadSpec (JSON or YAML; see
 // docs/WORKLOADS.md), registers it alongside the built-in workloads, and
@@ -91,6 +100,39 @@ func openTrace(cfg *fdpsim.Config, path, format string) func() {
 		}
 		cli.FatalIf(tool, f.Close())
 		fmt.Fprintf(os.Stderr, "fdpsim: decision trace written to %s (%s)\n", path, format)
+	}
+}
+
+// teeTracer fans one decision stream out to two sinks (-trace-out and
+// -decision-log together).
+type teeTracer struct{ a, b fdpsim.Tracer }
+
+func (t teeTracer) TraceDecision(ev fdpsim.DecisionEvent) {
+	t.a.TraceDecision(ev)
+	t.b.TraceDecision(ev)
+}
+
+// openDecisionLog wires -decision-log into the configuration: a CSV
+// feature dump of every interval decision, the training input for
+// scripts/train_tree.go. Composes with -trace-out.
+func openDecisionLog(cfg *fdpsim.Config, path string) func() {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	cli.FatalIf(tool, err)
+	sink := obs.NewDecisionCSV(f)
+	if cfg.Tracer != nil {
+		cfg.Tracer = teeTracer{cfg.Tracer, sink}
+	} else {
+		cfg.Tracer = sink
+	}
+	return func() {
+		if err := sink.Close(); err != nil {
+			cli.Fatalf(tool, cli.ExitError, "writing decision log %s: %v", path, err)
+		}
+		cli.FatalIf(tool, f.Close())
+		fmt.Fprintf(os.Stderr, "fdpsim: decision log written to %s (%d rows)\n", path, sink.Rows())
 	}
 }
 
@@ -206,6 +248,9 @@ func main() {
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProfile   = flag.String("memprofile", "", "write a post-run heap profile to this file")
 		attr         = flag.Bool("attr", false, "enable cycle accounting & bandwidth attribution (stall/bus breakdown in the report, per-interval samples in traces)")
+		controller   = flag.String("controller", "", "feedback decision policy (see -list; empty = the paper's Table 2 policy)")
+		ctrlModel    = flag.String("controller-model", "", "decision-tree model JSON file (selects -controller tree)")
+		decisionLog  = flag.String("decision-log", "", "write a per-interval CSV feature dump (training data for scripts/train_tree.go)")
 		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -252,6 +297,10 @@ func main() {
 					fmt.Fprintf(w, "  %-14s %s\n", info.Name, info.About)
 				}
 			}
+			fmt.Fprintln(w, "controllers (feedback decision policies; -controller):")
+			for _, info := range fdpsim.ControllerList() {
+				fmt.Fprintf(w, "  %-14s [%s] %s\n", info.Name, strings.Join(info.Tags, ","), info.Description)
+			}
 		})
 	}
 
@@ -263,6 +312,17 @@ func main() {
 	kind := fdpsim.PrefetcherKind(*prefName)
 	if !*fdp && kind != fdpsim.PrefNone {
 		opts = append(opts, fdpsim.WithFixedAggressiveness(*level))
+	}
+	if *controller != "" {
+		opts = append(opts, fdpsim.WithController(*controller))
+	}
+	if *ctrlModel != "" {
+		if *controller != "" && *controller != "tree" {
+			cli.Fatalf(tool, cli.ExitUsage, "-controller-model requires -controller tree, got %q", *controller)
+		}
+		raw, err := os.ReadFile(*ctrlModel)
+		cli.FatalIf(tool, err)
+		opts = append(opts, fdpsim.WithControllerModel(raw))
 	}
 	if !*fdp && *insertAt != "MRU" {
 		switch *insertAt {
@@ -320,6 +380,15 @@ func main() {
 		cfg.Progress = progressLine
 	}
 	finishTrace := openTrace(&cfg, *traceOut, *traceFormat)
+	if finishLog := openDecisionLog(&cfg, *decisionLog); finishLog != nil {
+		prev := finishTrace
+		finishTrace = func() {
+			if prev != nil {
+				prev()
+			}
+			finishLog()
+		}
+	}
 	stopProf := cli.StartProfiles(tool, *cpuProfile, *memProfile)
 	defer stopProf()
 
@@ -358,6 +427,9 @@ func main() {
 	mode := "conventional"
 	if *fdp {
 		mode = "FDP (dynamic aggressiveness + dynamic insertion)"
+		if res.Controller != "" && res.Controller != "fdp" {
+			mode = fmt.Sprintf("FDP loop, %s controller", res.Controller)
+		}
 	} else if kind == fdpsim.PrefNone {
 		mode = "no prefetching"
 	} else {

@@ -90,6 +90,10 @@ func main() {
 			}
 			fmt.Fprintln(w, "prefetchers (-prefetcher, for -replay):")
 			fmt.Fprintf(w, "  %s\n", joinKinds())
+			fmt.Fprintln(w, "controllers (feedback decision policies, for replay under fdpsim -controller):")
+			for _, info := range fdpsim.ControllerList() {
+				fmt.Fprintf(w, "  %-14s [%s] %s\n", info.Name, strings.Join(info.Tags, ","), info.Description)
+			}
 		})
 	}
 

@@ -1,0 +1,42 @@
+package control
+
+import (
+	"errors"
+	"testing"
+
+	"fdpsim/internal/core"
+)
+
+// FuzzTreeModel drives LoadTree with arbitrary bytes: any outcome other
+// than a clean load or an error matching ErrInvalid (in particular any
+// panic, and any non-terminating or out-of-range evaluation of a model
+// that did load) is a bug. Wired into `make fuzz-smoke` and CI.
+func FuzzTreeModel(f *testing.F) {
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"version":1,"features":["accuracy"],"nodes":[{"leaf":true}]}`))
+	f.Add([]byte(`{"version":1,"features":["accuracy"],"nodes":[{"feature":0,"threshold":0.5,"left":1,"right":2},{"leaf":true,"delta":1},{"leaf":true,"delta":-1,"insertion":"lru"}]}`))
+	f.Add([]byte(`{"version":1,"features":["accuracy"],"nodes":[{"feature":0,"threshold":1,"left":0,"right":0}]}`))
+	f.Add([]byte(`{"version":1,"features":["bus_util","polluting"],"nodes":[{"feature":1,"threshold":0.5,"left":1,"right":1},{"leaf":true,"delta":4,"insertion":"mru"}]}`))
+	f.Add(defaultTreeModel)
+
+	f.Fuzz(func(t *testing.T, model []byte) {
+		c, err := LoadTree(model, core.DefaultThresholds())
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("LoadTree error does not match ErrInvalid: %v", err)
+			}
+			return
+		}
+		// A model that validated must evaluate safely on any signals.
+		for _, s := range []Signals{
+			{},
+			{Accuracy: 1, Lateness: 1, Pollution: 1, AccClass: core.AccHigh, Late: true, Polluting: true, Level: 5, BusUtilization: 1},
+			{Accuracy: 0.5, Pollution: 0.2, AccClass: core.AccMedium, Level: 1, BusUtilization: 0.5},
+		} {
+			d := c.Decide(s)
+			if d.Level < core.MinLevel || d.Level > core.MaxLevel {
+				t.Fatalf("loaded model decided out-of-range level %d", d.Level)
+			}
+		}
+	})
+}

@@ -146,6 +146,11 @@ type IntervalRecord struct {
 	Late      bool
 	Polluting bool
 
+	// BusUtilization is the fraction of the interval's cycles the shared
+	// data bus was busy, as observed by the embedding simulator through
+	// the OnSignals hook (zero in standalone core use).
+	BusUtilization float64
+
 	// LevelBefore is the Dynamic Configuration Counter value before this
 	// boundary's update; Level is the value after (they are equal when the
 	// update was NoChange, saturated, or dynamic aggressiveness is off).
@@ -169,6 +174,20 @@ type FDP struct {
 	level     int
 	insertion cache.InsertPos
 
+	// Decider is the decision policy consulted at every interval boundary.
+	// New installs the paper's Table 2 policy; replace it (before the
+	// first interval closes) to evaluate an alternative controller. The
+	// engine still owns when decisions apply: Level takes effect only
+	// under DynamicAggressiveness and Insertion only under
+	// DynamicInsertion, and Level is clamped to MinLevel..MaxLevel.
+	Decider Decider
+
+	// OnSignals, when set, may enrich the Signals value before it reaches
+	// the Decider — the sim layer uses it to fill the bandwidth
+	// observables the core cannot measure. Called synchronously from the
+	// eviction path; it must be cheap and must not re-enter the engine.
+	OnSignals func(s *Signals)
+
 	// OnLevel, when set, is invoked with the new aggressiveness level at
 	// each interval boundary (even if unchanged).
 	OnLevel func(level int)
@@ -190,6 +209,11 @@ type FDP struct {
 	History     []IntervalRecord
 
 	intervals uint64
+
+	// sig is the Signals scratch value rebuilt at each boundary; keeping
+	// it on the (heap-allocated) engine lets OnSignals take its address
+	// without forcing a per-interval heap escape.
+	sig Signals
 }
 
 // New constructs the FDP engine.
@@ -203,6 +227,7 @@ func New(cfg Config) *FDP {
 	f := &FDP{
 		cfg:       cfg,
 		filter:    NewPollutionFilter(cfg.FilterBits),
+		Decider:   paperDecider{th: cfg.Thresholds, accuracyOnly: cfg.AccuracyOnly},
 		level:     cfg.InitLevel,
 		insertion: cfg.StaticInsertion,
 		LevelDist: stats.NewDistribution("level",
@@ -308,8 +333,9 @@ func ratio(num, den counter) float64 {
 }
 
 // endInterval applies Equation 1 to every counter, classifies the three
-// metrics, and adjusts the prefetcher aggressiveness and the insertion
-// policy for the next interval.
+// metrics into a Signals value, consults the Decider, and applies its
+// Decision to the prefetcher aggressiveness and insertion policy for the
+// next interval (each gated by its Dynamic* config switch).
 func (f *FDP) endInterval() {
 	f.evictions = 0
 	f.intervals++
@@ -344,57 +370,57 @@ func (f *FDP) endInterval() {
 	isLate := lateness >= th.TLateness
 	polluting := pollution >= th.TPollution
 
-	pc := LookupPolicy(accClass, isLate, polluting)
+	f.sig = Signals{
+		Interval:  f.intervals,
+		Accuracy:  accuracy,
+		Lateness:  lateness,
+		Pollution: pollution,
+		AccClass:  accClass,
+		Late:      isLate,
+		Polluting: polluting,
+		Raw:       raw,
+		Decayed: IntervalCounts{
+			PrefSent:        pref,
+			PrefUsed:        used,
+			PrefLate:        late,
+			PollutionMisses: poll,
+			DemandMisses:    demand,
+		},
+		Level:     f.level,
+		Insertion: f.insertion,
+	}
+	if f.OnSignals != nil {
+		f.OnSignals(&f.sig)
+	}
+	d := f.Decider.Decide(f.sig)
+
 	levelBefore := f.level
 	if f.cfg.DynamicAggressiveness {
-		update := pc.Update
-		if f.cfg.AccuracyOnly {
-			// Section 5.6 ablation: accuracy alone steers the counter.
-			switch accClass {
-			case AccHigh:
-				update = Increment
-			case AccLow:
-				update = Decrement
-			default:
-				update = NoChange
-			}
-		}
-		f.level += int(update)
-		if f.level < 1 {
-			f.level = 1
-		}
-		if f.level > 5 {
-			f.level = 5
-		}
+		f.level = ClampLevel(d.Level)
 		if f.OnLevel != nil {
 			f.OnLevel(f.level)
 		}
 	}
 	if f.cfg.DynamicInsertion {
-		f.insertion = InsertionFor(pollution, th.PLow, th.PHigh)
+		f.insertion = d.Insertion
 	}
 	f.LevelDist.Add(f.level - 1)
 
 	if f.KeepHistory || f.OnInterval != nil {
 		rec := IntervalRecord{
-			Accuracy:  accuracy,
-			Lateness:  lateness,
-			Pollution: pollution,
-			Case:      pc,
-			Level:     f.level,
-			Insertion: f.insertion,
-			Raw:       raw,
-			Decayed: IntervalCounts{
-				PrefSent:        pref,
-				PrefUsed:        used,
-				PrefLate:        late,
-				PollutionMisses: poll,
-				DemandMisses:    demand,
-			},
-			AccClass:    accClass,
-			Late:        isLate,
-			Polluting:   polluting,
-			LevelBefore: levelBefore,
+			Accuracy:       accuracy,
+			Lateness:       lateness,
+			Pollution:      pollution,
+			Case:           d.Case,
+			Level:          f.level,
+			Insertion:      f.insertion,
+			Raw:            raw,
+			Decayed:        f.sig.Decayed,
+			AccClass:       accClass,
+			Late:           isLate,
+			Polluting:      polluting,
+			BusUtilization: f.sig.BusUtilization,
+			LevelBefore:    levelBefore,
 		}
 		if f.KeepHistory {
 			f.History = append(f.History, rec)

@@ -92,4 +92,75 @@ func TestClassStrings(t *testing.T) {
 	if Increment.String() != "Increment" || Decrement.String() != "Decrement" || NoChange.String() != "No Change" {
 		t.Error("CounterUpdate strings wrong")
 	}
+	// The default arms: values outside the enum render as the zero-ish
+	// names rather than panicking or printing numbers.
+	if AccuracyClass(99).String() != "High" {
+		t.Errorf("out-of-range AccuracyClass = %q, want High", AccuracyClass(99).String())
+	}
+	if CounterUpdate(99).String() != "No Change" {
+		t.Errorf("out-of-range CounterUpdate = %q, want No Change", CounterUpdate(99).String())
+	}
+}
+
+// TestLookupPolicyExhaustive pins every point of the 3x2x2 input domain
+// to its Table 2 row — case number, counter update, and a human-readable
+// reason — written out literally so a policy edit cannot hide behind the
+// table it is testing against.
+func TestLookupPolicyExhaustive(t *testing.T) {
+	cases := []struct {
+		acc        AccuracyClass
+		late, poll bool
+		wantCase   int
+		wantUpdate CounterUpdate
+	}{
+		{AccHigh, true, false, 1, Increment},
+		{AccHigh, true, true, 2, Increment},
+		{AccHigh, false, false, 3, NoChange},
+		{AccHigh, false, true, 4, Decrement},
+		{AccMedium, true, false, 5, Increment},
+		{AccMedium, true, true, 6, Decrement},
+		{AccMedium, false, false, 7, NoChange},
+		{AccMedium, false, true, 8, Decrement},
+		{AccLow, true, false, 9, Decrement},
+		{AccLow, true, true, 10, Decrement},
+		{AccLow, false, false, 11, NoChange},
+		{AccLow, false, true, 12, Decrement},
+	}
+	if len(cases) != len(Table2) {
+		t.Fatalf("test table has %d rows, Table2 has %d", len(cases), len(Table2))
+	}
+	reasons := make(map[int]string, len(cases))
+	for _, tc := range cases {
+		got := LookupPolicy(tc.acc, tc.late, tc.poll)
+		if got.Case != tc.wantCase || got.Update != tc.wantUpdate {
+			t.Errorf("LookupPolicy(%v, late=%v, poll=%v) = case %d %v, want case %d %v",
+				tc.acc, tc.late, tc.poll, got.Case, got.Update, tc.wantCase, tc.wantUpdate)
+		}
+		if got.Accuracy != tc.acc || got.Late != tc.late || got.Polluting != tc.poll {
+			t.Errorf("case %d echoes inputs %v/%v/%v, want %v/%v/%v",
+				got.Case, got.Accuracy, got.Late, got.Polluting, tc.acc, tc.late, tc.poll)
+		}
+		if got.Reason == "" {
+			t.Errorf("case %d has no reason", got.Case)
+		}
+		reasons[got.Case] = got.Reason
+	}
+
+	// Every row drives PaperDecision correctly at every level, including
+	// clamping at the rails: the decision's level is the clamped update
+	// and its Case is the row LookupPolicy returned.
+	th := DefaultConfig().Thresholds
+	for _, tc := range cases {
+		for level := MinLevel; level <= MaxLevel; level++ {
+			s := Signals{AccClass: tc.acc, Late: tc.late, Polluting: tc.poll, Level: level}
+			d := PaperDecision(s, th, false)
+			want := ClampLevel(level + int(tc.wantUpdate))
+			if d.Level != want {
+				t.Errorf("PaperDecision(case %d, level %d).Level = %d, want %d", tc.wantCase, level, d.Level, want)
+			}
+			if d.Case.Case != tc.wantCase {
+				t.Errorf("PaperDecision(case %d, level %d).Case = %d", tc.wantCase, level, d.Case.Case)
+			}
+		}
+	}
 }

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fdpsim/internal/sim"
+)
+
+// DecisionCSVHeader is the column layout of the -decision-log feature
+// dump. The first eight columns are the controller feature vector in
+// control.FeatureNames() order (pinned by a test); the remaining
+// columns are the decision labels a trainer fits against (delta,
+// insertion) plus provenance (controller, case, core, interval).
+var DecisionCSVHeader = []string{
+	"accuracy", "lateness", "pollution", "bus_util",
+	"level", "acc_class", "late", "polluting",
+	"delta", "insertion",
+	"controller", "case", "core", "interval",
+}
+
+// DecisionCSV streams DecisionEvents as a CSV feature dump for offline
+// controller training (scripts/train_tree.go consumes it). One row per
+// interval boundary, header first; write errors are sticky and surface
+// on Close, like the JSONL sink.
+type DecisionCSV struct {
+	bw  *bufio.Writer
+	err error
+	n   int
+	row []byte
+}
+
+// NewDecisionCSV returns a DecisionCSV sink over w and writes the
+// header. The caller owns w (Close flushes but does not close it).
+func NewDecisionCSV(w io.Writer) *DecisionCSV {
+	bw := bufio.NewWriter(w)
+	d := &DecisionCSV{bw: bw, row: make([]byte, 0, 256)}
+	if _, err := bw.WriteString(strings.Join(DecisionCSVHeader, ",") + "\n"); err != nil {
+		d.err = fmt.Errorf("obs: csv header: %w", err)
+	}
+	return d
+}
+
+// TraceDecision implements sim.Tracer.
+func (d *DecisionCSV) TraceDecision(ev sim.DecisionEvent) {
+	if d.err != nil {
+		return
+	}
+	b := d.row[:0]
+	b = strconv.AppendFloat(b, ev.Accuracy, 'g', -1, 64)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, ev.Lateness, 'g', -1, 64)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, ev.Pollution, 'g', -1, 64)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, ev.BusUtil, 'g', -1, 64)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(ev.DCCBefore), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(accClassOrdinal(ev.AccuracyClass)), 10)
+	b = append(b, ',')
+	b = appendBool01(b, ev.Late)
+	b = append(b, ',')
+	b = appendBool01(b, ev.Polluting)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(ev.DCCAfter-ev.DCCBefore), 10)
+	b = append(b, ',')
+	b = append(b, strings.ToLower(ev.Insertion)...)
+	b = append(b, ',')
+	b = append(b, ev.Controller...)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(ev.Case), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(ev.Core), 10)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, ev.Interval, 10)
+	b = append(b, '\n')
+	d.row = b[:0]
+	if _, err := d.bw.Write(b); err != nil {
+		d.err = fmt.Errorf("obs: csv write: %w", err)
+		return
+	}
+	d.n++
+}
+
+// Rows returns how many data rows were written.
+func (d *DecisionCSV) Rows() int { return d.n }
+
+// Err returns the sticky write error, if any.
+func (d *DecisionCSV) Err() error { return d.err }
+
+// Close flushes buffered output and returns the first error encountered.
+func (d *DecisionCSV) Close() error {
+	if err := d.bw.Flush(); err != nil && d.err == nil {
+		d.err = fmt.Errorf("obs: csv flush: %w", err)
+	}
+	return d.err
+}
+
+func accClassOrdinal(s string) int {
+	switch s {
+	case "Low":
+		return 0
+	case "Medium":
+		return 1
+	default: // "High"
+		return 2
+	}
+}
+
+func appendBool01(b []byte, v bool) []byte {
+	if v {
+		return append(b, '1')
+	}
+	return append(b, '0')
+}

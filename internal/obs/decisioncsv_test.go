@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"fdpsim/internal/control"
+	"fdpsim/internal/sim"
+)
+
+// TestDecisionCSVHeaderMatchesFeatures pins the contract between the
+// -decision-log dump and the trainer: the first columns are exactly the
+// controller feature vector, in control.FeatureNames() order.
+func TestDecisionCSVHeaderMatchesFeatures(t *testing.T) {
+	features := control.FeatureNames()
+	if len(DecisionCSVHeader) < len(features) {
+		t.Fatalf("header has %d columns, need at least %d", len(DecisionCSVHeader), len(features))
+	}
+	for i, f := range features {
+		if DecisionCSVHeader[i] != f {
+			t.Errorf("column %d = %q, want feature %q", i, DecisionCSVHeader[i], f)
+		}
+	}
+}
+
+func TestDecisionCSV(t *testing.T) {
+	var sb strings.Builder
+	d := NewDecisionCSV(&sb)
+	d.TraceDecision(sim.DecisionEvent{
+		Core: 1, Interval: 7,
+		Accuracy: 0.5, Lateness: 0.25, Pollution: 0.125, BusUtil: 0.75,
+		AccuracyClass: "Medium", Late: true, Polluting: false,
+		Controller: "fdp", Case: 5,
+		DCCBefore: 3, DCCAfter: 4,
+		Insertion: "LRU-4",
+	})
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 1 {
+		t.Fatalf("Rows() = %d", d.Rows())
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want header + 1 row", len(lines))
+	}
+	if lines[0] != strings.Join(DecisionCSVHeader, ",") {
+		t.Errorf("header = %q", lines[0])
+	}
+	want := "0.5,0.25,0.125,0.75,3,1,1,0,1,lru-4,fdp,5,1,7"
+	if lines[1] != want {
+		t.Errorf("row = %q, want %q", lines[1], want)
+	}
+}

@@ -24,11 +24,12 @@ import (
 // top of an explicit config when non-zero.
 type JobRequest struct {
 	Workload         string `json:"workload"`
-	Prefetcher       string `json:"prefetcher"`        // default "stream"
-	Level            int    `json:"level"`             // static aggressiveness 1..5; 0 with fdp
-	FDP              bool   `json:"fdp"`               // dynamic aggressiveness + insertion
-	DynamicInsertion bool   `json:"dynamic_insertion"` // dynamic insertion only
-	Insts            uint64 `json:"insts"`             // default 1,000,000
+	Prefetcher       string `json:"prefetcher"`           // default "stream"
+	Level            int    `json:"level"`                // static aggressiveness 1..5; 0 with fdp
+	FDP              bool   `json:"fdp"`                  // dynamic aggressiveness + insertion
+	DynamicInsertion bool   `json:"dynamic_insertion"`    // dynamic insertion only
+	Controller       string `json:"controller,omitempty"` // feedback decision policy (internal/control names)
+	Insts            uint64 `json:"insts"`                // default 1,000,000
 	Warmup           uint64 `json:"warmup"`
 	Seed             uint64 `json:"seed"`
 	TInterval        uint64 `json:"tinterval"`
@@ -113,6 +114,9 @@ func (r *JobRequest) BuildConfig() sim.Config {
 	}
 	if r.TInterval != 0 {
 		cfg.FDP.TInterval = r.TInterval
+	}
+	if r.Controller != "" {
+		cfg.Controller = r.Controller
 	}
 	if r.Attribution {
 		cfg.Attribution = true

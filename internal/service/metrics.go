@@ -47,8 +47,15 @@ type metrics struct {
 	simCycles atomic.Uint64 // simulated cycles across completed runs
 	simNanos  atomic.Uint64 // wall-clock nanoseconds across completed runs
 
-	intervals  atomic.Uint64                     // FDP sampling intervals closed across all runs
-	insertions [cache.NumInsertPos]atomic.Uint64 // interval boundaries per chosen insertion position
+	intervals atomic.Uint64 // FDP sampling intervals closed across all runs
+
+	// insertions counts interval boundaries per (controller, insertion
+	// position): which policy chose which position how often. Keyed by
+	// the job's controller label ("fdp" when the config leaves the
+	// default); map writes are rare (one per controller name ever seen),
+	// so a mutex around a plain array is cheaper than atomic maps.
+	insertMu   sync.Mutex
+	insertions map[string]*[cache.NumInsertPos]uint64
 
 	traces         atomic.Uint64 // jobs that collected a decision trace
 	traceEvents    atomic.Uint64 // decision events captured into job traces
@@ -124,7 +131,14 @@ func (m *metrics) init(queueWaitBuckets []float64) {
 	m.httpDur.init(defaultHTTPBuckets)
 	m.tenantWait = make(map[string]*histogram)
 	m.waitBuckets = queueWaitBuckets
+	// Pre-seed the default controller so the family is present (all-zero)
+	// on an idle server, matching the old unlabeled series' behavior.
+	m.insertions = map[string]*[cache.NumInsertPos]uint64{defaultController: new([cache.NumInsertPos]uint64)}
 }
+
+// defaultController labels series from jobs that leave Config.Controller
+// empty: the paper's Table 2 policy is the default decision policy.
+const defaultController = "fdp"
 
 // observeSnapshot feeds the per-interval series from a run's progress
 // stream. Final snapshots close no interval and are skipped.
@@ -133,8 +147,19 @@ func (m *metrics) observeSnapshot(snap intervalSample) {
 		return
 	}
 	m.intervals.Add(1)
-	if p := int(snap.insertion); p >= 0 && p < len(m.insertions) {
-		m.insertions[p].Add(1)
+	if p := int(snap.insertion); p >= 0 && p < int(cache.NumInsertPos) {
+		ctl := snap.controller
+		if ctl == "" {
+			ctl = defaultController
+		}
+		m.insertMu.Lock()
+		counts, ok := m.insertions[ctl]
+		if !ok {
+			counts = new([cache.NumInsertPos]uint64)
+			m.insertions[ctl] = counts
+		}
+		counts[p]++
+		m.insertMu.Unlock()
 	}
 	if c := snap.sample.Cycles; c.Total() > 0 {
 		m.stallCycles[0].Add(c.RetireFull)
@@ -153,9 +178,10 @@ func (m *metrics) observeSnapshot(snap intervalSample) {
 // intervalSample is the slice of a sim.Snapshot the metrics need; a named
 // struct keeps observeSnapshot testable without building full snapshots.
 type intervalSample struct {
-	final     bool
-	insertion cache.InsertPos
-	sample    stats.IntervalSample
+	final      bool
+	controller string // decision-policy label; empty means defaultController
+	insertion  cache.InsertPos
+	sample     stats.IntervalSample
 }
 
 // histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
@@ -264,10 +290,11 @@ func renderHistogram(w io.Writer, h *histogram, name, help string) {
 
 // render writes every series. queued is sampled by the caller (it is the
 // live queue length, owned by the Server); dccLevels is the distribution
-// of Dynamic Configuration Counter levels across currently running jobs
-// (index = level 1..5; index 0 unused), likewise sampled by the caller,
-// as are the flight recorder's held/evicted span counts.
-func (m *metrics) render(w io.Writer, queued int, uptime time.Duration, dccLevels [6]int, tenants []TenantSnapshot, sweepsActive int, spansHeld int, spansDropped uint64) {
+// of Dynamic Configuration Counter levels across currently running jobs,
+// keyed by controller label (inner index = level 1..5; index 0 unused),
+// likewise sampled by the caller, as are the flight recorder's
+// held/evicted span counts.
+func (m *metrics) render(w io.Writer, queued int, uptime time.Duration, dccLevels map[string][6]int, tenants []TenantSnapshot, sweepsActive int, spansHeld int, spansDropped uint64) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP fdpserved_%s %s\n# TYPE fdpserved_%s counter\nfdpserved_%s %d\n", name, help, name, name, v)
 	}
@@ -320,17 +347,41 @@ func (m *metrics) render(w io.Writer, queued int, uptime time.Duration, dccLevel
 	}
 	gauge("sim_intervals_per_second", "FDP feedback rate: sampling intervals closed per wall-clock second of uptime.", ips)
 
-	fmt.Fprintf(w, "# HELP fdpserved_insertion_policy_total Interval boundaries by the dynamic insertion position chosen for the next interval's prefetch fills.\n")
+	fmt.Fprintf(w, "# HELP fdpserved_insertion_policy_total Interval boundaries by decision policy and the insertion position it chose for the next interval's prefetch fills.\n")
 	fmt.Fprintf(w, "# TYPE fdpserved_insertion_policy_total counter\n")
-	for p := range m.insertions {
-		fmt.Fprintf(w, "fdpserved_insertion_policy_total{position=%q} %d\n",
-			cache.InsertPos(p).String(), m.insertions[p].Load())
+	m.insertMu.Lock()
+	ctls := make([]string, 0, len(m.insertions))
+	byCtl := make(map[string][cache.NumInsertPos]uint64, len(m.insertions))
+	for ctl, counts := range m.insertions {
+		ctls = append(ctls, ctl)
+		byCtl[ctl] = *counts
+	}
+	m.insertMu.Unlock()
+	sort.Strings(ctls)
+	for _, ctl := range ctls {
+		counts := byCtl[ctl]
+		for p := range counts {
+			fmt.Fprintf(w, "fdpserved_insertion_policy_total{controller=%q,position=%q} %d\n",
+				ctl, cache.InsertPos(p).String(), counts[p])
+		}
 	}
 
-	fmt.Fprintf(w, "# HELP fdpserved_dcc_level_jobs Running jobs by their current Dynamic Configuration Counter level (aggressiveness 1..5).\n")
+	fmt.Fprintf(w, "# HELP fdpserved_dcc_level_jobs Running jobs by decision policy and their current Dynamic Configuration Counter level (aggressiveness 1..5).\n")
 	fmt.Fprintf(w, "# TYPE fdpserved_dcc_level_jobs gauge\n")
-	for level := 1; level <= 5; level++ {
-		fmt.Fprintf(w, "fdpserved_dcc_level_jobs{level=\"%d\"} %d\n", level, dccLevels[level])
+	if len(dccLevels) == 0 {
+		// An idle server still renders the family: all-zero default rows.
+		dccLevels = map[string][6]int{defaultController: {}}
+	}
+	dccCtls := make([]string, 0, len(dccLevels))
+	for ctl := range dccLevels {
+		dccCtls = append(dccCtls, ctl)
+	}
+	sort.Strings(dccCtls)
+	for _, ctl := range dccCtls {
+		dist := dccLevels[ctl]
+		for level := 1; level <= 5; level++ {
+			fmt.Fprintf(w, "fdpserved_dcc_level_jobs{controller=%q,level=\"%d\"} %d\n", ctl, level, dist[level])
+		}
 	}
 
 	counter("executions_total", "Simulations actually executed by this process (cache hits and fleet-adopted results excluded).", m.executions.Load())

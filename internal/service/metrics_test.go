@@ -76,21 +76,27 @@ func TestMetricsNewSeries(t *testing.T) {
 		m.observeSnapshot(intervalSample{insertion: cache.PosMID})
 	}
 	m.observeSnapshot(intervalSample{insertion: cache.PosMRU})
-	m.observeSnapshot(intervalSample{final: true, insertion: cache.PosMRU}) // ignored
+	m.observeSnapshot(intervalSample{final: true, insertion: cache.PosMRU})                // ignored
+	m.observeSnapshot(intervalSample{controller: "dspatch-dual", insertion: cache.PosLRU}) // own series
 	m.httpDur.observe(0.002)
 
 	var buf bytes.Buffer
-	m.render(&buf, 0, 10*time.Second, [6]int{0, 0, 1, 0, 0, 2}, nil, 0, 0, 0)
+	m.render(&buf, 0, 10*time.Second, map[string][6]int{
+		"fdp":  {0, 0, 1, 0, 0, 2},
+		"tree": {0, 1, 0, 0, 0, 0},
+	}, nil, 0, 0, 0)
 	out := buf.String()
 
 	for _, want := range []string{
-		"fdpserved_sim_intervals_total 8",
-		"fdpserved_sim_intervals_per_second 0.8",
-		`fdpserved_insertion_policy_total{position="MID"} 7`,
-		`fdpserved_insertion_policy_total{position="MRU"} 1`,
-		`fdpserved_insertion_policy_total{position="LRU"} 0`,
-		`fdpserved_dcc_level_jobs{level="2"} 1`,
-		`fdpserved_dcc_level_jobs{level="5"} 2`,
+		"fdpserved_sim_intervals_total 9",
+		"fdpserved_sim_intervals_per_second 0.9",
+		`fdpserved_insertion_policy_total{controller="fdp",position="MID"} 7`,
+		`fdpserved_insertion_policy_total{controller="fdp",position="MRU"} 1`,
+		`fdpserved_insertion_policy_total{controller="fdp",position="LRU"} 0`,
+		`fdpserved_insertion_policy_total{controller="dspatch-dual",position="LRU"} 1`,
+		`fdpserved_dcc_level_jobs{controller="fdp",level="2"} 1`,
+		`fdpserved_dcc_level_jobs{controller="fdp",level="5"} 2`,
+		`fdpserved_dcc_level_jobs{controller="tree",level="1"} 1`,
 		"fdpserved_traces_collected_total 0",
 		"fdpserved_http_request_duration_seconds_count 1",
 	} {

@@ -741,8 +741,9 @@ func (s *Server) runJob(job *Job) {
 	}
 
 	cfg := job.cfg
+	ctl := controllerLabel(cfg)
 	cfg.Progress = func(snap sim.Snapshot) {
-		s.m.observeSnapshot(intervalSample{final: snap.Final, insertion: snap.Insertion, sample: snap.Sample})
+		s.m.observeSnapshot(intervalSample{final: snap.Final, controller: ctl, insertion: snap.Insertion, sample: snap.Sample})
 		job.publish(snap)
 	}
 	// runEvents collects in-run span events (lease renewals and losses);
@@ -944,16 +945,29 @@ func (s *Server) Tenants() []TenantSnapshot { return s.sched.snapshot() }
 // SetTenant registers or reconfigures a scheduler tenant at runtime.
 func (s *Server) SetTenant(name string, cfg TenantConfig) { s.sched.register(name, cfg) }
 
+// controllerLabel names a configuration's decision policy for metrics
+// series: the explicit Controller, or the paper default.
+func controllerLabel(cfg sim.Config) string {
+	if cfg.Controller != "" {
+		return cfg.Controller
+	}
+	return defaultController
+}
+
 // dccDistribution samples, for the metrics endpoint, how many currently
 // running jobs sit at each Dynamic Configuration Counter level (1..5,
-// from their latest progress snapshot). Index 0 is unused.
-func (s *Server) dccDistribution() [6]int {
-	var dist [6]int
+// from their latest progress snapshot), grouped by the job's decision
+// policy. Inner index 0 is unused.
+func (s *Server) dccDistribution() map[string][6]int {
+	dist := make(map[string][6]int)
 	for _, job := range s.Jobs() {
 		job.mu.Lock()
 		if job.state == StateRunning && job.lastSnap != nil {
 			if lvl := job.lastSnap.Level; lvl >= 1 && lvl <= 5 {
-				dist[lvl]++
+				ctl := controllerLabel(job.cfg)
+				d := dist[ctl]
+				d[lvl]++
+				dist[ctl] = d
 			}
 		}
 		job.mu.Unlock()

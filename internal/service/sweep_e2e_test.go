@@ -167,6 +167,79 @@ func TestSweepEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSweepControllerAxis drives the controller head-to-head over HTTP:
+// one sweep, three workloads, every registered decision policy as its own
+// config axis, attribution on. The merged text tables gain one column per
+// controller and a bus-util table, and /metrics labels the insertion and
+// DCC-level series by controller.
+func TestSweepControllerAxis(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 8})
+	client := ts.Client()
+
+	req := sweep.Request{
+		Name:      "controllers",
+		Workloads: []string{"seqstream", "chaserand", "mixedphase"},
+		Configs: []sweep.ConfigAxis{
+			{FDP: true, Controller: "fdp"},
+			{FDP: true, Controller: "static-1"},
+			{FDP: true, Controller: "static-2"},
+			{FDP: true, Controller: "static-3"},
+			{FDP: true, Controller: "static-4"},
+			{FDP: true, Controller: "static-5"},
+			{FDP: true, Controller: "dspatch-dual"},
+			{FDP: true, Controller: "tree"},
+		},
+		Insts: 20_000, TInterval: 64, Attribution: true,
+	}
+	var sws SweepStatus
+	if code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/sweeps", sweepBody(t, req), &sws); code != http.StatusAccepted {
+		t.Fatalf("controller sweep submit = %d, want 202", code)
+	}
+	if sws.Cells != 24 {
+		t.Fatalf("controller sweep expanded to %d cells, want 24 (3 workloads x 8 controllers)", sws.Cells)
+	}
+	fin := pollSweep(t, client, ts.URL+"/v1/sweeps/"+sws.ID, func(s SweepStatus) bool {
+		return s.Summary.Terminal()
+	})
+	if fin.Summary.Done != 24 || fin.Summary.Failed != 0 {
+		t.Fatalf("controller sweep finished %+v", fin.Summary)
+	}
+
+	// The merged tables carry one column per controller, and attribution
+	// adds the bus-util table alongside IPC and BPKI.
+	resp, err := client.Get(ts.URL + "/v1/sweeps/" + sws.ID + "/results?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"controllers — IPC", "controllers — BPKI", "controllers — bus-util",
+		"stream-fdp", "stream-static-1", "stream-static-2", "stream-static-3",
+		"stream-static-4", "stream-static-5", "stream-dspatch-dual", "stream-tree",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("controller sweep text results lack %q:\n%s", want, text)
+		}
+	}
+
+	// The scrape labels the decision-policy series by controller.
+	resp, err = client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`fdpserved_insertion_policy_total{controller="fdp",position=`,
+		`fdpserved_dcc_level_jobs{controller=`,
+	} {
+		if !strings.Contains(string(scrape), want) {
+			t.Fatalf("metrics scrape lacks %q", want)
+		}
+	}
+}
+
 // pollSweep polls a sweep until pred accepts its status.
 func pollSweep(t *testing.T, client *http.Client, url string, pred func(SweepStatus) bool) SweepStatus {
 	t.Helper()
@@ -196,8 +269,8 @@ func TestSweepValidationAndTenancy(t *testing.T) {
 	client := ts.Client()
 
 	bad := []sweep.Request{
-		{Configs: []sweep.ConfigAxis{{}}},                             // no workloads
-		{Workloads: []string{"seqstream"}},                            // no configs
+		{Configs: []sweep.ConfigAxis{{}}},  // no workloads
+		{Workloads: []string{"seqstream"}}, // no configs
 		{Workloads: []string{"no-such"}, Configs: []sweep.ConfigAxis{{}}},
 		{Workloads: []string{"seqstream"}, Configs: []sweep.ConfigAxis{{Prefetcher: "warp"}}},
 		{Workloads: []string{"seqstream"}, Configs: []sweep.ConfigAxis{{FDP: true, Level: 3}}},

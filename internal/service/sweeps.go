@@ -246,6 +246,9 @@ func (sw *Sweep) Cells() []sweep.Cell {
 			if st.State == StateDone && st.Result != nil {
 				c.IPC = st.Result.IPC
 				c.BPKI = st.Result.BPKI
+				if st.Result.Attribution != nil {
+					c.BusUtil = st.Result.Attribution.BusUtilization()
+				}
 			}
 		}
 		cells[i] = c

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"fdpsim/internal/cache"
+	"fdpsim/internal/control"
 	"fdpsim/internal/core"
 	"fdpsim/internal/cpu"
 	"fdpsim/internal/mem"
@@ -88,6 +89,19 @@ type Config struct {
 	PerStreamRamp bool
 
 	FDP core.Config
+
+	// Controller names the feedback decision policy from the
+	// internal/control registry ("fdp", "static-1".."static-5",
+	// "dspatch-dual", "tree"; see `fdpsim -list`). Empty selects the
+	// paper's Table 2 policy — the engine's built-in default — and is
+	// bit-identical to "fdp". The controller only has effect where the
+	// FDP Dynamic* switches allow: Level under DynamicAggressiveness,
+	// insertion under DynamicInsertion.
+	Controller string
+	// ControllerModel is the serialized decision-tree model for the
+	// "tree" controller (JSON; see docs/CONTROLLERS.md). Nil selects the
+	// embedded default model.
+	ControllerModel []byte
 
 	// PrefCacheBlocks, when non-zero, adds a separate prefetch cache
 	// (Section 5.7 comparison): prefetches fill it instead of the L2 and
@@ -201,6 +215,17 @@ func (c *Config) Validate() error {
 	}
 	if c.Prefetcher == PrefNone && c.StaticLevel != 0 {
 		return fmt.Errorf("%w: StaticLevel set without a prefetcher", ErrInvalidConfig)
+	}
+	if !control.Known(c.Controller) {
+		return fmt.Errorf("%w: unknown controller %q (have %v)", ErrInvalidConfig, c.Controller, control.Names())
+	}
+	if len(c.ControllerModel) > 0 {
+		if c.Controller != "tree" {
+			return fmt.Errorf("%w: ControllerModel set but Controller is %q, want \"tree\"", ErrInvalidConfig, c.Controller)
+		}
+		if _, err := control.LoadTree(c.ControllerModel, c.FDP.Thresholds); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
 	}
 	return nil
 }

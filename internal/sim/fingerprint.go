@@ -13,7 +13,10 @@ import (
 // current configuration. Bump it whenever a change makes old results
 // wrong for the same Config (new semantic field, changed defaults, a
 // modelling fix that shifts metrics).
-const fingerprintVersion = "fdpsim-fp-v1"
+// v2: Config gained Controller/ControllerModel (the pluggable feedback
+// controller seam); the new fields are folded into the hash, so a cached
+// "fdp" result can never alias a "tree" run of the same base config.
+const fingerprintVersion = "fdpsim-fp-v2"
 
 // Fingerprint returns a stable content hash of the configuration's
 // semantic fields: two configurations share a fingerprint exactly when a

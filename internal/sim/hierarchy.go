@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fdpsim/internal/cache"
+	"fdpsim/internal/control"
 	"fdpsim/internal/core"
 	"fdpsim/internal/cpu"
 	"fdpsim/internal/mem"
@@ -91,6 +92,18 @@ type hierarchy struct {
 	// attr holds the cycle-accounting / bandwidth-attribution state when
 	// Config.Attribution is set; nil otherwise (one branch per hook site).
 	attr *attribution
+
+	// controller is the injected feedback policy (nil = the engine's
+	// built-in paper policy); ctrlName is its registry name, precomputed
+	// for allocation-free tracing.
+	controller control.Controller
+	ctrlName   string
+
+	// sigLastCycle/sigLastStats are the previous interval boundary's
+	// clock and bus counters; fillSignals diffs against them to give the
+	// controller per-interval bandwidth observables.
+	sigLastCycle uint64
+	sigLastStats mem.Stats
 }
 
 func newHierarchy(cfg *Config, ctr *stats.Counters) *hierarchy {
@@ -98,6 +111,40 @@ func newHierarchy(cfg *Config, ctr *stats.Counters) *hierarchy {
 	h.ownsDRAM = true
 	h.dram.OnStart = h.onBusStart
 	return h
+}
+
+// fillSignals enriches a Signals value with the bandwidth observables
+// the core engine cannot measure itself: the interval's span in cycles
+// and the data-bus occupancy over it (total and prefetch-only),
+// reconstructed from the DRAM's started-transfer counters. Installed as
+// the FDP engine's OnSignals hook; called once per interval boundary,
+// allocation-free.
+func (h *hierarchy) fillSignals(s *core.Signals) {
+	ms := h.dram.Stats()
+	tr := h.dram.Config().Transfer
+	cycles := h.cyc - h.sigLastCycle
+	var busy, pref uint64
+	for k := range ms.Started {
+		d := (ms.Started[k] - h.sigLastStats.Started[k]) * tr
+		busy += d
+		if mem.Kind(k) == mem.Prefetch {
+			pref = d
+		}
+	}
+	h.sigLastCycle = h.cyc
+	h.sigLastStats = ms
+	s.IntervalCycles = cycles
+	s.BusBusyCycles = busy
+	s.BusPrefetchCycles = pref
+	if cycles > 0 {
+		// Transfers that straddle the boundary can push the estimate past
+		// the interval span; utilization is a fraction, so clamp.
+		u := float64(busy) / float64(cycles)
+		if u > 1 {
+			u = 1
+		}
+		s.BusUtilization = u
+	}
 }
 
 // newHierarchyShared builds a per-core hierarchy around an externally
@@ -123,6 +170,23 @@ func newHierarchyShared(cfg *Config, ctr *stats.Counters, dram *mem.DRAM, coreID
 	h.wh.run = h.runEvent
 	h.onFillFn = h.onFill
 	h.fdp = core.New(cfg.FDP)
+	h.ctrlName = "fdp"
+	if cfg.Controller != "" && cfg.Controller != "fdp" {
+		// Validate vetted the name and model; a Build failure here would
+		// mean the config bypassed validation, which Run never allows.
+		ctrl, err := control.Build(cfg.Controller, control.Params{
+			Thresholds:   cfg.FDP.Thresholds,
+			AccuracyOnly: cfg.FDP.AccuracyOnly,
+			Model:        cfg.ControllerModel,
+		})
+		if err != nil {
+			panic("sim: unvalidated controller config: " + err.Error())
+		}
+		h.controller = ctrl
+		h.ctrlName = ctrl.Name()
+		h.fdp.Decider = ctrl
+	}
+	h.fdp.OnSignals = h.fillSignals
 	h.pf = buildPrefetcher(cfg)
 	if h.pf != nil {
 		if cfg.StaticLevel > 0 {

@@ -50,6 +50,12 @@ type Result struct {
 	// otherwise, keeping the Result shape of non-attribution runs — and
 	// their golden fingerprints — unchanged.
 	Attribution *stats.Attribution `json:",omitempty"`
+
+	// Controller echoes Config.Controller: the feedback policy that drove
+	// the run ("" = the built-in paper policy, identical to "fdp").
+	// Omitted from JSON when empty, keeping default-run Results — and
+	// their golden fingerprints — unchanged.
+	Controller string `json:",omitempty"`
 }
 
 // cancelCheckStride bounds cancellation latency for runs that close no
@@ -203,6 +209,7 @@ func runWith(ctx context.Context, cfg Config, src cpu.Source) (Result, error) {
 			FinalLevel: h.fdp.Level(),
 			Partial:    partial,
 			Elapsed:    time.Since(start),
+			Controller: cfg.Controller,
 		}
 		res.Attribution = h.attrFinalize()
 		if h.pf != nil {

@@ -44,9 +44,16 @@ type DecisionEvent struct {
 	Late          bool   `json:"late"`
 	Polluting     bool   `json:"polluting"`
 
-	// Case is the Table 2 row (1..12) selected by the classifications,
-	// Update its counter adjustment (-1, 0, +1) and Reason the paper's
-	// stated rationale.
+	// Controller names the feedback policy that took this decision
+	// ("fdp" unless Config.Controller selected a competitor); BusUtil is
+	// the fraction of the interval's cycles the shared data bus was busy
+	// — the bandwidth signal controllers such as dspatch-dual key on.
+	Controller string  `json:"controller"`
+	BusUtil    float64 `json:"bus_util"`
+
+	// Case is the Table 2 row (1..12) selected by the classifications (0
+	// for decisions taken by a non-paper controller), Update its counter
+	// adjustment (-1, 0, +1) and Reason the controller's rationale.
 	Case   int    `json:"case"`
 	Update int    `json:"update"`
 	Reason string `json:"reason"`
@@ -125,6 +132,8 @@ func (h *hierarchy) traceDecision(rec core.IntervalRecord, cycle, retired uint64
 		AccuracyClass: rec.AccClass.String(),
 		Late:          rec.Late,
 		Polluting:     rec.Polluting,
+		Controller:    h.ctrlName,
+		BusUtil:       rec.BusUtilization,
 		Case:          rec.Case.Case,
 		Update:        int(rec.Case.Update),
 		Reason:        rec.Case.Reason,

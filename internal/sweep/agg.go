@@ -19,7 +19,11 @@ type Cell struct {
 	CacheHit    bool    `json:"cache_hit,omitempty"`
 	IPC         float64 `json:"ipc,omitempty"`
 	BPKI        float64 `json:"bpki,omitempty"`
-	Error       string  `json:"error,omitempty"`
+	// BusUtil is the run's data-bus occupancy fraction, filled only for
+	// attribution sweeps (Request.Attribution); the merged tables gain a
+	// bus-util table when any cell carries it.
+	BusUtil float64 `json:"bus_util,omitempty"`
+	Error   string  `json:"error,omitempty"`
 }
 
 // Summary is the aggregate a sweep's SSE feed streams: state counts plus
@@ -139,8 +143,15 @@ func Tables(title string, cells []Cell) []harness.Table {
 		}
 		return t
 	}
-	return []harness.Table{
+	tables := []harness.Table{
 		build("IPC", func(c Cell) float64 { return c.IPC }),
 		build("BPKI", func(c Cell) float64 { return c.BPKI }),
 	}
+	for _, c := range cells {
+		if c.BusUtil > 0 {
+			tables = append(tables, build("bus-util", func(c Cell) float64 { return c.BusUtil }))
+			break
+		}
+	}
+	return tables
 }

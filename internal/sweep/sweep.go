@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strings"
 
+	"fdpsim/internal/control"
 	"fdpsim/internal/sim"
 	"fdpsim/internal/workload/spec"
 )
@@ -88,6 +89,12 @@ type ConfigAxis struct {
 	FDP bool `json:"fdp,omitempty"`
 	// DynamicInsertion enables dynamic insertion on its own.
 	DynamicInsertion bool `json:"dynamic_insertion,omitempty"`
+	// Controller selects the feedback decision policy for an FDP axis
+	// (see internal/control: "fdp", "static-1".."static-5",
+	// "dspatch-dual", "tree"). Empty keeps the paper's Table 2 policy;
+	// requires FDP. One sweep listing several controllers as separate
+	// axes produces the merged head-to-head table per controller.
+	Controller string `json:"controller,omitempty"`
 }
 
 // label returns the axis's explicit or derived column label.
@@ -103,6 +110,9 @@ func (a ConfigAxis) label() string {
 	case kind == string(sim.PrefNone):
 		return "none"
 	case a.FDP:
+		if a.Controller != "" && a.Controller != "fdp" {
+			return kind + "-" + a.Controller
+		}
 		return kind + "-fdp"
 	default:
 		level := a.Level
@@ -137,6 +147,12 @@ func (a ConfigAxis) build() (sim.Config, error) {
 	if a.Level < 0 || a.Level > 5 {
 		return sim.Config{}, fmt.Errorf("%w: level %d out of range 0..5 in config axis %q", ErrInvalid, a.Level, a.label())
 	}
+	if a.Controller != "" && !a.FDP {
+		return sim.Config{}, fmt.Errorf("%w: config axis %q sets a controller without fdp", ErrInvalid, a.label())
+	}
+	if !control.Known(a.Controller) {
+		return sim.Config{}, fmt.Errorf("%w: unknown controller %q in config axis %q (have %v)", ErrInvalid, a.Controller, a.label(), control.Names())
+	}
 	var cfg sim.Config
 	switch {
 	case a.FDP:
@@ -144,6 +160,7 @@ func (a ConfigAxis) build() (sim.Config, error) {
 			return sim.Config{}, fmt.Errorf("%w: config axis %q sets both fdp and a static level", ErrInvalid, a.label())
 		}
 		cfg = sim.WithFDP(kind)
+		cfg.Controller = a.Controller
 	case kind == sim.PrefNone:
 		if a.Level != 0 {
 			return sim.Config{}, fmt.Errorf("%w: config axis %q sets a level without a prefetcher", ErrInvalid, a.label())

@@ -150,3 +150,23 @@ func WithPrefetchCache(blocks, ways int) Option {
 func WithPerStreamRamp() Option {
 	return func(cfg *Config) error { cfg.PerStreamRamp = true; return nil }
 }
+
+// WithController selects the feedback decision policy by registry name
+// ("fdp", "static-1".."static-5", "dspatch-dual", "tree"; see
+// ControllerList). The empty name is the paper's Table 2 policy, bit-
+// identical to "fdp". Unknown names fail NewConfig with an error
+// matching ErrInvalidConfig.
+func WithController(name string) Option {
+	return func(cfg *Config) error { cfg.Controller = name; return nil }
+}
+
+// WithControllerModel supplies the decision-tree model (JSON, the
+// docs/CONTROLLERS.md schema) for the "tree" controller and selects it.
+// A nil or empty model keeps the embedded default.
+func WithControllerModel(model []byte) Option {
+	return func(cfg *Config) error {
+		cfg.Controller = "tree"
+		cfg.ControllerModel = model
+		return nil
+	}
+}

@@ -1,0 +1,135 @@
+// Command train_tree fits a decision-tree controller model from one or
+// more fdpsim -decision-log CSV feature dumps and writes it as the JSON
+// schema internal/control.LoadTree consumes (docs/CONTROLLERS.md).
+//
+// Usage:
+//
+//	fdpsim -workload chaserand -fdp -insts 2000000 -decision-log chaserand.csv
+//	fdpsim -workload scanmod  -fdp -insts 2000000 -decision-log scanmod.csv
+//	go run ./scripts -out tree.json chaserand.csv scanmod.csv
+//	fdpsim -workload chaserand -fdp -controller tree -controller-model tree.json
+//
+// By default the tree imitates the logged controller's decisions (the
+// delta and insertion columns). -features selects which feature columns
+// the tree may split on; -max-depth and -min-leaf bound its size. The
+// emitted model always passes LoadTree validation. Exit codes: 0
+// success, 2 bad usage or malformed input, 1 I/O errors.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"fdpsim/internal/cli"
+	"fdpsim/internal/control"
+)
+
+const tool = "train_tree"
+
+func main() {
+	var (
+		out      = flag.String("out", "tree.json", "output model file")
+		features = flag.String("features", "accuracy,lateness,pollution,bus_util,level", "comma-separated feature columns the tree may split on")
+		maxDepth = flag.Int("max-depth", 6, "maximum tree depth")
+		minLeaf  = flag.Int("min-leaf", 8, "minimum samples per leaf")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		cli.Fatalf(tool, cli.ExitUsage, "no input CSVs (run fdpsim -decision-log first); usage: train_tree [-out tree.json] a.csv [b.csv ...]")
+	}
+
+	feats := strings.Split(*features, ",")
+	for i := range feats {
+		feats[i] = strings.TrimSpace(feats[i])
+	}
+
+	var samples []control.Sample
+	for _, path := range flag.Args() {
+		s, err := readSamples(path, feats)
+		cli.FatalIf(tool, err)
+		samples = append(samples, s...)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d samples from %d file(s)\n", tool, len(samples), flag.NArg())
+
+	model, err := control.FitTree(samples, feats, control.FitOptions{MaxDepth: *maxDepth, MinLeaf: *minLeaf})
+	cli.FatalIf(tool, err)
+
+	blob, err := json.MarshalIndent(model, "", "  ")
+	cli.FatalIf(tool, err)
+	blob = append(blob, '\n')
+	cli.FatalIf(tool, os.WriteFile(*out, blob, 0o644))
+
+	// Self-check: the file we just wrote must load.
+	if _, err := control.LoadTree(blob, control.Params{}.Thresholds); err != nil {
+		cli.Fatalf(tool, cli.ExitError, "emitted model fails validation: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: wrote %s (%d nodes, depth<=%d)\n", tool, *out, len(model.Nodes), *maxDepth)
+}
+
+// readSamples parses one -decision-log CSV into training samples,
+// selecting the requested feature columns by header name and labeling
+// each row with its delta and insertion columns.
+func readSamples(path string, feats []string) ([]control.Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	header, err := r.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%s: reading header: %w", path, err)
+	}
+	col := make(map[string]int, len(header))
+	for i, name := range header {
+		col[name] = i
+	}
+	featIdx := make([]int, len(feats))
+	for i, name := range feats {
+		idx, ok := col[name]
+		if !ok {
+			return nil, fmt.Errorf("%s: no column %q (have %v)", path, name, header)
+		}
+		featIdx[i] = idx
+	}
+	deltaIdx, ok := col["delta"]
+	if !ok {
+		return nil, fmt.Errorf("%s: no delta column", path)
+	}
+	insIdx, ok := col["insertion"]
+	if !ok {
+		return nil, fmt.Errorf("%s: no insertion column", path)
+	}
+
+	var samples []control.Sample
+	for line := 2; ; line++ {
+		row, err := r.Read()
+		if err == io.EOF {
+			return samples, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		s := control.Sample{Features: make([]float64, len(feats))}
+		for i, idx := range featIdx {
+			v, err := strconv.ParseFloat(row[idx], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: column %q: %w", path, line, feats[i], err)
+			}
+			s.Features[i] = v
+		}
+		d, err := strconv.Atoi(row[deltaIdx])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: delta: %w", path, line, err)
+		}
+		s.Delta = d
+		s.Insertion = row[insIdx]
+		samples = append(samples, s)
+	}
+}
