@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build build-cmds vet lint test test-short test-race fleet-e2e check bench bench-core bench-trace bench-json controller-equivalence trace-smoke experiments serve fuzz fuzz-smoke clean
+.PHONY: all build build-cmds vet lint test test-short test-race fleet-e2e check bench bench-core bench-trace bench-json bench-diff controller-equivalence trace-smoke series-smoke experiments serve fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -43,8 +43,8 @@ fleet-e2e:
 
 # What CI runs: a full build, vet, the race-enabled test suite (the
 # progress sinks cross goroutine boundaries, so -race is load-bearing),
-# and the uncached fleet/sweep e2e smoke.
-check: build vet test-race fleet-e2e
+# the uncached fleet/sweep e2e smoke, and the interval-timeseries smoke.
+check: build vet test-race fleet-e2e series-smoke
 
 # One benchmark per paper table/figure (see bench_test.go).
 bench:
@@ -78,6 +78,16 @@ bench-json:
 	go test ./internal/sim -run xxx -bench 'BenchmarkIntervalBoundary|BenchmarkPerInstruction' -benchmem \
 		| go run ./cmd/benchjson -out BENCH_9.json
 
+# Compare the freshly archived snapshot against the previous PR's
+# (BENCH_8.json, checked in), matched by package+benchmark name. Any
+# allocs/op growth fails outright — that gate is machine-independent and
+# is the real contract. Shared runners make wall time noisy even on an
+# identical CPU model (2-3x swings between runs an hour apart are in the
+# archives), so the ns/op threshold here is deliberately loose; tighten
+# it locally (-threshold 0.1) when comparing runs on a quiet machine.
+bench-diff: bench-json
+	go run ./cmd/benchjson -diff -threshold 3.0 BENCH_8.json BENCH_9.json
+
 # The controller-refactor equivalence gate: the engine goldens, plus the
 # same single-core FDP suite rerun with the Table 2 policy selected
 # explicitly through the internal/control registry. -count=1 defeats the
@@ -98,6 +108,14 @@ bench-trace:
 trace-smoke: build-cmds
 	sh scripts/trace-smoke.sh
 
+# End-to-end interval-timeseries smoke: boot fdpserved with a store, run
+# one series-recorded job, fetch the series (JSON + CSV + downsampled),
+# check the sidecar landed on disk, self-diff the fingerprint expecting
+# zero residual, and check the /metrics families
+# (scripts/series-smoke.sh).
+series-smoke: build-cmds
+	sh scripts/series-smoke.sh
+
 # Regenerate every table and figure at the documented scale. Results
 # persist in .fdpcache, so a re-run only simulates what changed.
 experiments:
@@ -116,6 +134,7 @@ fuzz:
 	go test ./internal/trace -run xxx -fuzz 'FuzzReader$$' -fuzztime 30s
 	go test ./internal/trace -run xxx -fuzz 'FuzzReaderV2$$' -fuzztime 30s
 	go test ./internal/control -run xxx -fuzz 'FuzzTreeModel$$' -fuzztime 30s
+	go test ./internal/series -run xxx -fuzz 'FuzzDecode$$' -fuzztime 30s
 
 # The 10-second-per-target slice CI runs on every PR, so decoder and
 # model-loader fuzz regressions surface before merge, not in nightlies.
@@ -123,6 +142,7 @@ fuzz-smoke:
 	go test ./internal/trace -run xxx -fuzz 'FuzzReader$$' -fuzztime 10s
 	go test ./internal/trace -run xxx -fuzz 'FuzzReaderV2$$' -fuzztime 10s
 	go test ./internal/control -run xxx -fuzz 'FuzzTreeModel$$' -fuzztime 10s
+	go test ./internal/series -run xxx -fuzz 'FuzzDecode$$' -fuzztime 10s
 
 clean:
 	go clean ./...

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Delta is one benchmark's old-vs-new comparison, matched by
+// package+name across two archived reports.
+type Delta struct {
+	Package   string
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	OldAllocs float64
+	NewAllocs float64
+	// Regression names the failed gate ("" when the benchmark passes):
+	// "ns/op" for a time regression beyond the threshold, "allocs/op"
+	// for any alloc-count increase.
+	Regression string
+}
+
+// Ratio is new/old ns-per-op (0 when the old sample is missing a time).
+func (d Delta) Ratio() float64 {
+	if d.OldNs == 0 {
+		return 0
+	}
+	return d.NewNs / d.OldNs
+}
+
+// diffReports compares two benchmark reports. threshold is the allowed
+// fractional ns/op growth (0.10 = +10%). comparable reports whether the
+// two reports came from the same CPU: when they did not, wall-time is
+// noise, so ns/op regressions are reported but never flagged — only
+// allocs/op, which is machine-independent, keeps failing the gate.
+func diffReports(old, cur Report, threshold float64) (deltas []Delta, comparable bool) {
+	comparable = old.CPU == "" || cur.CPU == "" || old.CPU == cur.CPU
+	byKey := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		byKey[b.Package+"\x00"+b.Name] = b
+	}
+	for _, b := range cur.Benchmarks {
+		prev, ok := byKey[b.Package+"\x00"+b.Name]
+		if !ok {
+			continue
+		}
+		d := Delta{
+			Package: b.Package, Name: b.Name,
+			OldNs: prev.NsPerOp, NewNs: b.NsPerOp,
+			OldAllocs: prev.AllocsPerOp, NewAllocs: b.AllocsPerOp,
+		}
+		_, oldMeasured := prev.Metrics["allocs/op"]
+		_, newMeasured := b.Metrics["allocs/op"]
+		switch {
+		case oldMeasured && newMeasured && d.NewAllocs > d.OldAllocs:
+			d.Regression = "allocs/op"
+		case comparable && d.OldNs > 0 && d.NewNs > d.OldNs*(1+threshold):
+			d.Regression = "ns/op"
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].Package != deltas[j].Package {
+			return deltas[i].Package < deltas[j].Package
+		}
+		return deltas[i].Name < deltas[j].Name
+	})
+	return deltas, comparable
+}
+
+// loadReport reads one archived benchjson document.
+func loadReport(path string) (Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Report{}, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// renderDiff prints the comparison table and returns how many matched
+// benchmarks regressed.
+func renderDiff(w io.Writer, oldPath, newPath string, deltas []Delta, comparable bool, threshold float64) int {
+	fmt.Fprintf(w, "benchmark diff: %s -> %s (threshold +%.0f%% ns/op; any allocs/op growth fails)\n",
+		oldPath, newPath, 100*threshold)
+	if !comparable {
+		fmt.Fprintln(w, "warning: reports come from different CPUs — ns/op is report-only, allocs/op still gates")
+	}
+	fmt.Fprintf(w, "%-32s %12s %12s %8s %10s %10s  %s\n",
+		"benchmark", "old ns/op", "new ns/op", "ratio", "old allocs", "new allocs", "verdict")
+	regressed := 0
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.Regression != "" {
+			verdict = "REGRESSED (" + d.Regression + ")"
+			regressed++
+		}
+		fmt.Fprintf(w, "%-32s %12.1f %12.1f %8.3f %10.0f %10.0f  %s\n",
+			d.Name, d.OldNs, d.NewNs, d.Ratio(), d.OldAllocs, d.NewAllocs, verdict)
+	}
+	if len(deltas) == 0 {
+		fmt.Fprintln(w, "no benchmarks matched between the two reports")
+	}
+	return regressed
+}

@@ -4,6 +4,14 @@
 //
 //	go test ./internal/sim -bench . -benchmem | benchjson -out BENCH.json
 //	benchjson -in bench.txt
+//	benchjson -diff BENCH_8.json BENCH_9.json
+//	benchjson -diff -threshold 0.25 old.json new.json
+//
+// -diff compares two archived reports benchmark-by-benchmark (matched by
+// package+name) and exits nonzero on a regression: ns/op growth beyond
+// -threshold, or any allocs/op increase. Reports from different CPUs are
+// compared report-only for wall time — the warning is printed and only
+// the machine-independent allocs/op gate still fails the run.
 //
 // The parser understands the standard benchmark line shape — name,
 // iteration count, then (value, unit) pairs — plus the goos/goarch/pkg/
@@ -130,14 +138,34 @@ func parseLine(line string) (Benchmark, bool) {
 
 func main() {
 	var (
-		in      = flag.String("in", "", "benchmark text to parse (empty = stdin)")
-		out     = flag.String("out", "", "JSON output path (empty = stdout)")
-		version = flag.Bool("version", false, "print build information and exit")
+		in        = flag.String("in", "", "benchmark text to parse (empty = stdin)")
+		out       = flag.String("out", "", "JSON output path (empty = stdout)")
+		diff      = flag.Bool("diff", false, "compare two archived reports: benchjson -diff OLD.json NEW.json")
+		threshold = flag.Float64("threshold", 0.10, "allowed fractional ns/op growth in -diff (0.10 = +10%)")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 
 	if *version {
 		cli.PrintVersion("benchjson")
+		return
+	}
+
+	if *diff {
+		if flag.NArg() != 2 {
+			cli.Fatalf("benchjson", cli.ExitUsage, "-diff wants exactly two report paths, got %d", flag.NArg())
+		}
+		if *threshold < 0 {
+			cli.Fatalf("benchjson", cli.ExitUsage, "-threshold must be >= 0, got %g", *threshold)
+		}
+		oldRep, err := loadReport(flag.Arg(0))
+		cli.FatalIf("benchjson", err)
+		newRep, err := loadReport(flag.Arg(1))
+		cli.FatalIf("benchjson", err)
+		deltas, comparable := diffReports(oldRep, newRep, *threshold)
+		if regressed := renderDiff(os.Stdout, flag.Arg(0), flag.Arg(1), deltas, comparable, *threshold); regressed > 0 {
+			cli.Fatalf("benchjson", cli.ExitError, "%d benchmark(s) regressed", regressed)
+		}
 		return
 	}
 

@@ -7,6 +7,7 @@
 //	fdpsim -workload mixedphase -fdp -progress -timeout 30s
 //	fdpsim -workload chaserand -fdp -trace-out decisions.jsonl
 //	fdpsim -workload chaserand -fdp -trace-out trace.json -trace-format chrome
+//	fdpsim -workload chaserand -fdp -series-out run.series.bin
 //	fdpsim -spec svc.yaml -fdp -insts 2000000
 //	fdpsim -workload chaserand -fdp -controller dspatch-dual
 //	fdpsim -workload chaserand -fdp -controller tree -controller-model tree.json
@@ -28,7 +29,9 @@
 // stderr. -trace-out records the full FDP decision trace — one
 // DecisionEvent per sampling interval — to a file, as JSONL or as a
 // Chrome trace_event document (-trace-format chrome) loadable in Perfetto;
-// see docs/OBSERVABILITY.md. A SIGINT (Ctrl-C) or an expired -timeout
+// see docs/OBSERVABILITY.md. -series-out records the compact columnar
+// interval timeseries (the internal/series binary format) — the artifact
+// fdpserved diffs at GET /v1/diff and fdptop -diff renders. A SIGINT (Ctrl-C) or an expired -timeout
 // stops the run at the next interval boundary and the partial metrics
 // (and a partial trace) are written, marked "(partial)". Only results go
 // to stdout; listings, progress and diagnostics go to stderr.
@@ -57,6 +60,7 @@ import (
 	"fdpsim/internal/cli"
 	"fdpsim/internal/obs"
 	"fdpsim/internal/prefetch"
+	"fdpsim/internal/series"
 	"fdpsim/internal/stats"
 )
 
@@ -103,15 +107,6 @@ func openTrace(cfg *fdpsim.Config, path, format string) func() {
 	}
 }
 
-// teeTracer fans one decision stream out to two sinks (-trace-out and
-// -decision-log together).
-type teeTracer struct{ a, b fdpsim.Tracer }
-
-func (t teeTracer) TraceDecision(ev fdpsim.DecisionEvent) {
-	t.a.TraceDecision(ev)
-	t.b.TraceDecision(ev)
-}
-
 // openDecisionLog wires -decision-log into the configuration: a CSV
 // feature dump of every interval decision, the training input for
 // scripts/train_tree.go. Composes with -trace-out.
@@ -122,17 +117,43 @@ func openDecisionLog(cfg *fdpsim.Config, path string) func() {
 	f, err := os.Create(path)
 	cli.FatalIf(tool, err)
 	sink := obs.NewDecisionCSV(f)
-	if cfg.Tracer != nil {
-		cfg.Tracer = teeTracer{cfg.Tracer, sink}
-	} else {
-		cfg.Tracer = sink
-	}
+	cfg.Tracer = obs.Tee(cfg.Tracer, sink)
 	return func() {
 		if err := sink.Close(); err != nil {
 			cli.Fatalf(tool, cli.ExitError, "writing decision log %s: %v", path, err)
 		}
 		cli.FatalIf(tool, f.Close())
 		fmt.Fprintf(os.Stderr, "fdpsim: decision log written to %s (%d rows)\n", path, sink.Rows())
+	}
+}
+
+// openSeries wires -series-out into the configuration: the compact
+// columnar interval timeseries (the internal/series binary format), the
+// same artifact fdpserved stores as a sidecar and serves at
+// GET /v1/jobs/{id}/series. Composes with -trace-out and -decision-log.
+func openSeries(cfg *fdpsim.Config, path string) func() {
+	if path == "" {
+		return nil
+	}
+	// Probe writability up front so a bad path fails before the run.
+	f, err := os.Create(path)
+	cli.FatalIf(tool, err)
+	cli.FatalIf(tool, f.Close())
+	rec := &series.Recorder{}
+	cfg.Tracer = obs.Tee(cfg.Tracer, rec)
+	return func() {
+		sr := rec.Series()
+		sr.Meta.Workload = cfg.Workload
+		sr.Meta.Prefetcher = string(cfg.Prefetcher)
+		doc, err := series.Encode(sr)
+		if err != nil {
+			cli.Fatalf(tool, cli.ExitError, "encoding interval series: %v", err)
+		}
+		if err := os.WriteFile(path, doc, 0o644); err != nil {
+			cli.Fatalf(tool, cli.ExitError, "writing interval series %s: %v", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "fdpsim: interval series written to %s (%d intervals, %d bytes)\n",
+			path, sr.Len(), len(doc))
 	}
 }
 
@@ -245,6 +266,7 @@ func main() {
 		progress     = flag.Bool("progress", false, "stream per-FDP-interval telemetry to stderr")
 		traceOut     = flag.String("trace-out", "", "write the FDP decision trace (one event per sampling interval) to this file")
 		traceFormat  = flag.String("trace-format", "jsonl", "decision trace format: jsonl or chrome (Perfetto-loadable)")
+		seriesOut    = flag.String("series-out", "", "write the compact columnar interval timeseries (internal/series binary) to this file")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProfile   = flag.String("memprofile", "", "write a post-run heap profile to this file")
 		attr         = flag.Bool("attr", false, "enable cycle accounting & bandwidth attribution (stall/bus breakdown in the report, per-interval samples in traces)")
@@ -380,13 +402,16 @@ func main() {
 		cfg.Progress = progressLine
 	}
 	finishTrace := openTrace(&cfg, *traceOut, *traceFormat)
-	if finishLog := openDecisionLog(&cfg, *decisionLog); finishLog != nil {
-		prev := finishTrace
+	for _, finish := range []func(){openDecisionLog(&cfg, *decisionLog), openSeries(&cfg, *seriesOut)} {
+		if finish == nil {
+			continue
+		}
+		prev, next := finishTrace, finish
 		finishTrace = func() {
 			if prev != nil {
 				prev()
 			}
-			finishLog()
+			next()
 		}
 	}
 	stopProf := cli.StartProfiles(tool, *cpuProfile, *memProfile)

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fdpsim/internal/series"
+	"fdpsim/internal/store"
+)
+
+// showDiff prints a run-vs-run comparison of two fingerprints' interval
+// timeseries straight from the shared store directory — the offline
+// counterpart of fdpserved's GET /v1/diff. spec is "fpA,fpB". Each banded
+// metric prints its residual summary and verdict; metrics that diverge
+// also draw a sparkline of the per-interval |delta| so the shape of the
+// drift (spike, ramp, phase shift) is visible at a glance.
+func showDiff(w io.Writer, dir, spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 || strings.TrimSpace(parts[0]) == "" || strings.TrimSpace(parts[1]) == "" {
+		return fmt.Errorf("-diff wants two comma-separated fingerprints, got %q", spec)
+	}
+	fpA, fpB := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	load := func(fp string) (*series.Series, error) {
+		doc, ok := st.GetSeries(fp)
+		if !ok {
+			return nil, fmt.Errorf("no interval series for %s in %s (run with series recording enabled)", fp, dir)
+		}
+		return series.Decode(doc)
+	}
+	a, err := load(fpA)
+	if err != nil {
+		return err
+	}
+	b, err := load(fpB)
+	if err != nil {
+		return err
+	}
+
+	rep := series.Diff(a, b, series.Options{IncludeDeltas: true})
+
+	ident := func(m series.Meta) string {
+		s := fmt.Sprintf("%s/%s", orDash(m.Workload), orDash(m.Prefetcher))
+		if m.Controller != "" {
+			s += "/" + m.Controller
+		}
+		return s
+	}
+	fmt.Fprintf(w, "diff %s (%s)  vs  %s (%s)\n", shortfp(fpA), ident(rep.MetaA), shortfp(fpB), ident(rep.MetaB))
+	fmt.Fprintf(w, "aligned %d intervals (extra: a=%d b=%d)\n\n", rep.Intervals, rep.ExtraA, rep.ExtraB)
+	fmt.Fprintf(w, "%-16s %9s %9s %9s %9s %6s\n", "metric", "mean-d", "max|d|", "rms", "first-div", "")
+	for _, m := range rep.Metrics {
+		first := "-"
+		if m.FirstDivergence > 0 {
+			first = fmt.Sprintf("%d", m.FirstDivergence)
+		}
+		tag := m.Verdict
+		if m.Verdict == series.VerdictFail {
+			tag = "FAIL"
+		}
+		fmt.Fprintf(w, "%-16s %9.4g %9.4g %9.4g %9s %6s\n",
+			m.Metric, m.MeanDelta, m.MaxAbs, m.RMS, first, tag)
+		if m.FirstDivergence > 0 && len(m.Delta) > 0 {
+			abs := make([]float64, len(m.Delta))
+			for i, d := range m.Delta {
+				if d < 0 {
+					d = -d
+				}
+				abs[i] = d
+			}
+			fmt.Fprintf(w, "  |d| %s\n", sparkline(abs))
+		}
+	}
+	fmt.Fprintf(w, "\nverdict: %s", rep.Verdict)
+	if len(rep.Failed) > 0 {
+		fmt.Fprintf(w, " (%s)", strings.Join(rep.Failed, ", "))
+	}
+	fmt.Fprintln(w)
+	if rep.Verdict == series.VerdictFail {
+		return fmt.Errorf("runs diverge beyond tolerance on %d metric(s)", len(rep.Failed))
+	}
+	return nil
+}
+
+// shortfp abbreviates a fingerprint for the header line.
+func shortfp(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12] + "…"
+	}
+	return fp
+}

@@ -12,6 +12,8 @@
 //	                                               progress + fabric lanes
 //	fdptop -store /var/cache/fdpsim -prov <fp>     print a fingerprint's
 //	                                               provenance ledger
+//	fdptop -store /var/cache/fdpsim -diff fpA,fpB  diff two fingerprints'
+//	                                               interval series
 //	fdptop -replay trace.jsonl                     replay a decision trace
 //	                                               recorded with -attr
 //	fdptop -replay trace.jsonl -once               render the final frame
@@ -46,7 +48,8 @@ func main() {
 		job      = flag.String("job", "", "fdpserved job ID to attach to over SSE")
 		sweepID  = flag.String("sweep", "", "fdpserved sweep ID: aggregate progress + per-worker fabric lanes")
 		prov     = flag.String("prov", "", "print a fingerprint's provenance ledger (with -store) and exit")
-		storeDir = flag.String("store", "", "result-store directory for -prov")
+		diffSpec = flag.String("diff", "", "compare two fingerprints' interval series, \"fpA,fpB\" (with -store), and exit")
+		storeDir = flag.String("store", "", "result-store directory for -prov and -diff")
 		replay   = flag.String("replay", "", "replay a JSONL decision trace instead of attaching")
 		once     = flag.Bool("once", false, "render a single final frame and exit (no redraw)")
 		rate     = flag.Duration("rate", 40*time.Millisecond, "replay frame delay in TTY mode")
@@ -67,6 +70,11 @@ func main() {
 			cli.Fatalf(tool, cli.ExitUsage, "-prov requires -store <dir> (the shared result-store directory)")
 		}
 		cli.FatalIf(tool, showProvenance(os.Stdout, *storeDir, *prov))
+	case *diffSpec != "":
+		if *storeDir == "" {
+			cli.Fatalf(tool, cli.ExitUsage, "-diff requires -store <dir> (the shared result-store directory)")
+		}
+		cli.FatalIf(tool, showDiff(os.Stdout, *storeDir, *diffSpec))
 	case *replay != "":
 		cli.FatalIf(tool, replayTrace(os.Stdout, *replay, *once, *rate))
 	case *sweepID != "":
@@ -74,7 +82,7 @@ func main() {
 	case *job != "":
 		cli.FatalIf(tool, attach(os.Stdout, *addr, *job, *once))
 	default:
-		cli.Fatalf(tool, cli.ExitUsage, "use -job or -sweep <id> (with -addr) to attach, -prov <fp> -store <dir> for the ledger, or -replay <trace.jsonl>")
+		cli.Fatalf(tool, cli.ExitUsage, "use -job or -sweep <id> (with -addr) to attach, -prov <fp> or -diff <fpA,fpB> with -store <dir>, or -replay <trace.jsonl>")
 	}
 }
 

@@ -17,7 +17,7 @@ func TestExperimentRegistry(t *testing.T) {
 	want := []string{
 		"accuracyonly", "buswidth", "controllers", "cycleacct", "dahlgren", "fig1", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "filtersize", "hybrid",
-		"multicore", "perstream", "sharedl2", "stride", "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+		"multicore", "perstream", "seriesdiff", "sharedl2", "stride", "table1", "table2", "table3", "table4", "table5", "table6", "table7",
 		"thresholds", "timeline", "tinterval",
 	}
 	got := Experiments()

@@ -66,3 +66,35 @@ func (c *Collector) Truncated() uint64 {
 	defer c.mu.Unlock()
 	return c.truncated
 }
+
+// tee fans one decision stream out to several sinks, in order.
+type tee struct {
+	sinks []sim.Tracer
+}
+
+// TraceDecision implements sim.Tracer.
+func (t *tee) TraceDecision(ev sim.DecisionEvent) {
+	for _, s := range t.sinks {
+		s.TraceDecision(ev)
+	}
+}
+
+// Tee combines tracers into one that delivers every event to each, in
+// argument order. Nil entries are dropped; zero or one live sink returns
+// nil or the sink itself, so callers can compose unconditionally without
+// paying a fan-out wrapper for the common single-sink case.
+func Tee(sinks ...sim.Tracer) sim.Tracer {
+	live := make([]sim.Tracer, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &tee{sinks: live}
+}

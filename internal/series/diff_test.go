@@ -1,0 +1,154 @@
+package series
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	s := sampleSeries(32)
+	rep := Diff(s, s, Options{})
+	if rep.Verdict != VerdictPass {
+		t.Fatalf("self-diff verdict = %q, want pass (failed: %v)", rep.Verdict, rep.Failed)
+	}
+	if rep.Intervals != 32 || rep.ExtraA != 0 || rep.ExtraB != 0 {
+		t.Errorf("alignment = %d/%d/%d, want 32/0/0", rep.Intervals, rep.ExtraA, rep.ExtraB)
+	}
+	if len(rep.Metrics) != NumMetrics {
+		t.Fatalf("got %d metric diffs, want %d", len(rep.Metrics), NumMetrics)
+	}
+	for _, md := range rep.Metrics {
+		if md.MeanDelta != 0 || md.MeanAbs != 0 || md.MaxAbs != 0 || md.RMS != 0 || md.FirstDivergence != 0 {
+			t.Errorf("%s: nonzero residual on self-diff: %+v", md.Metric, md)
+		}
+		if md.Verdict == VerdictFail {
+			t.Errorf("%s: self-diff failed its band", md.Metric)
+		}
+	}
+}
+
+func TestDiffDivergence(t *testing.T) {
+	a := sampleSeries(16)
+	b := sampleSeries(16)
+	ipc := MetricIndex("ipc")
+	// Diverge ipc from interval 5 onward, well past the 0.02 band.
+	for i := 4; i < 16; i++ {
+		b.Columns[ipc][i] += 0.5
+	}
+	rep := Diff(a, b, Options{IncludeDeltas: true})
+	if rep.Verdict != VerdictFail {
+		t.Fatal("divergent ipc did not fail the verdict")
+	}
+	if len(rep.Failed) != 1 || rep.Failed[0] != "ipc" {
+		t.Errorf("Failed = %v, want [ipc]", rep.Failed)
+	}
+	var md *MetricDiff
+	for i := range rep.Metrics {
+		if rep.Metrics[i].Metric == "ipc" {
+			md = &rep.Metrics[i]
+		}
+	}
+	if md == nil {
+		t.Fatal("no ipc diff")
+	}
+	if md.FirstDivergence != 5 {
+		t.Errorf("FirstDivergence = %d, want 5", md.FirstDivergence)
+	}
+	if math.Abs(md.MaxAbs-0.5) > 1e-12 {
+		t.Errorf("MaxAbs = %g, want 0.5", md.MaxAbs)
+	}
+	wantMean := 0.5 * 12 / 16
+	if math.Abs(md.MeanDelta-wantMean) > 1e-12 {
+		t.Errorf("MeanDelta = %g, want %g", md.MeanDelta, wantMean)
+	}
+	wantRMS := math.Sqrt(0.25 * 12 / 16)
+	if math.Abs(md.RMS-wantRMS) > 1e-12 {
+		t.Errorf("RMS = %g, want %g", md.RMS, wantRMS)
+	}
+	if len(md.Delta) != 16 || md.Delta[4] != 0.5 || md.Delta[0] != 0 {
+		t.Errorf("Delta series wrong: len %d", len(md.Delta))
+	}
+}
+
+func TestDiffAlignment(t *testing.T) {
+	a := sampleSeries(20)
+	b := sampleSeries(12)
+	rep := Diff(a, b, Options{SkipA: 8})
+	// 20-8=12 vs 12 → aligned 12, no extras.
+	if rep.Intervals != 12 || rep.ExtraA != 0 || rep.ExtraB != 0 {
+		t.Errorf("alignment = %d/%d/%d, want 12/0/0", rep.Intervals, rep.ExtraA, rep.ExtraB)
+	}
+	rep = Diff(a, b, Options{})
+	if rep.Intervals != 12 || rep.ExtraA != 8 || rep.ExtraB != 0 {
+		t.Errorf("alignment = %d/%d/%d, want 12/8/0", rep.Intervals, rep.ExtraA, rep.ExtraB)
+	}
+	// Skips larger than the series clamp to empty, not negative.
+	rep = Diff(a, b, Options{SkipA: 99})
+	if rep.Intervals != 0 {
+		t.Errorf("over-skip intervals = %d, want 0", rep.Intervals)
+	}
+}
+
+func TestDiffCustomTolerances(t *testing.T) {
+	a := sampleSeries(4)
+	b := sampleSeries(4)
+	idx := MetricIndex("pref_sent")
+	b.Columns[idx][0] += 100
+	// Default band for counts is informational: no failure.
+	rep := Diff(a, b, Options{})
+	if rep.Verdict != VerdictPass {
+		t.Errorf("count drift failed under default (informational) band: %v", rep.Failed)
+	}
+	// An explicit band turns the same drift into a failure.
+	rep = Diff(a, b, Options{Tolerances: map[string]float64{"pref_sent": 1}})
+	if rep.Verdict != VerdictFail || len(rep.Failed) != 1 || rep.Failed[0] != "pref_sent" {
+		t.Errorf("explicit band did not fail: verdict %q failed %v", rep.Verdict, rep.Failed)
+	}
+}
+
+func TestDefaultTolerancesCoverCatalog(t *testing.T) {
+	tol := DefaultTolerances()
+	for _, m := range Catalog {
+		if _, ok := tol[m.Name]; !ok {
+			t.Errorf("no default tolerance entry for %s", m.Name)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := sampleSeries(6)
+	b := sampleSeries(4)
+	for i := range b.Columns {
+		for j := range b.Columns[i] {
+			b.Columns[i][j] += 2
+		}
+	}
+	m := Merge(a, b)
+	if m.Len() != 4 {
+		t.Fatalf("merged length = %d, want 4 (common prefix)", m.Len())
+	}
+	if m.Meta.Controller != "merged" {
+		t.Errorf("Meta.Controller = %q", m.Meta.Controller)
+	}
+	ca, _ := a.Column("ipc")
+	cm, _ := m.Column("ipc")
+	for i := range cm {
+		want := ca[i] + 1 // mean of v and v+2
+		if math.Abs(cm[i]-want) > 1e-12 {
+			t.Errorf("merged ipc[%d] = %g, want %g", i, cm[i], want)
+		}
+	}
+	if e := Merge(); e.Len() != 0 {
+		t.Errorf("Merge() length = %d, want 0", e.Len())
+	}
+	if e := Merge(nil, &Series{}); e.Len() != 0 {
+		t.Errorf("Merge(nil, empty) length = %d, want 0", e.Len())
+	}
+	one := Merge(a)
+	co, _ := one.Column("ipc")
+	for i := range co {
+		if co[i] != ca[i] {
+			t.Errorf("single-input merge changed values at %d", i)
+		}
+	}
+}

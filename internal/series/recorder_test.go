@@ -1,0 +1,129 @@
+package series
+
+import (
+	"testing"
+
+	"fdpsim/internal/core"
+	"fdpsim/internal/sim"
+	"fdpsim/internal/stats"
+)
+
+// boundaryEvent fabricates the i-th (1-based) interval boundary of a
+// synthetic run: cumulative stamps grow linearly, counts are small primes.
+func boundaryEvent(i int) sim.DecisionEvent {
+	return sim.DecisionEvent{
+		Interval:   uint64(i),
+		Cycle:      uint64(i) * 1000,
+		Retired:    uint64(i) * 700,
+		Raw:        core.IntervalCounts{PrefSent: 13, PrefUsed: 7, PrefLate: 2, PollutionMisses: 1, DemandMisses: 5},
+		Accuracy:   0.75,
+		Lateness:   0.10,
+		Pollution:  0.01,
+		Controller: "fdp",
+		BusUtil:    0.42,
+		DCCAfter:   4,
+		Insertion:  "MID",
+		Sample: stats.IntervalSample{
+			Cycles:    stats.CycleBuckets{RetireFull: 400, RetirePartial: 100, StallLoadMiss: 300, StallROBFull: 100, StallDRAMBP: 50, StallIFetch: 25, StallFrontend: 25},
+			MSHRMean:  3.5,
+			QueueMean: 1.25,
+			RowHits:   30,
+			RowMisses: 10,
+		},
+	}
+}
+
+func TestRecorderDerivation(t *testing.T) {
+	r := &Recorder{}
+	for i := 1; i <= 3; i++ {
+		r.TraceDecision(boundaryEvent(i))
+	}
+	s := r.Series()
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	want := map[string]float64{
+		"cycles":          1000, // per-interval delta of the cumulative stamp
+		"retired":         700,
+		"ipc":             0.7,
+		"bpki":            1000 * 18 / 700.0, // (demand 5 + sent 13) per 700 retired
+		"accuracy":        0.75,
+		"lateness":        0.10,
+		"pollution":       0.01,
+		"dcc_level":       4,
+		"insertion_pos":   1, // MID
+		"bus_util":        0.42,
+		"retire_full":     0.4,
+		"stall_load_miss": 0.3,
+		"mshr_mean":       3.5,
+		"queue_mean":      1.25,
+		"row_hit_rate":    0.75,
+		"pref_sent":       13,
+		"demand_misses":   5,
+	}
+	for name, v := range want {
+		col, ok := s.Column(name)
+		if !ok {
+			t.Fatalf("column %q missing", name)
+		}
+		for i, got := range col {
+			if diff := got - v; diff > 1e-12 || diff < -1e-12 {
+				t.Errorf("%s[%d] = %g, want %g", name, i, got, v)
+			}
+		}
+	}
+	if s.Meta.Controller != "fdp" {
+		t.Errorf("Meta.Controller = %q, want fdp", s.Meta.Controller)
+	}
+}
+
+func TestRecorderInsertionCodes(t *testing.T) {
+	r := &Recorder{}
+	for i, pos := range []string{"MRU", "MID", "LRU-4", "LRU", "???"} {
+		ev := boundaryEvent(i + 1)
+		ev.Insertion = pos
+		r.TraceDecision(ev)
+	}
+	col, _ := r.Series().Column("insertion_pos")
+	want := []float64{0, 1, 2, 3, -1}
+	for i, w := range want {
+		if col[i] != w {
+			t.Errorf("insertion_pos[%d] = %g, want %g", i, col[i], w)
+		}
+	}
+}
+
+func TestRecorderCoreFilterAndLimit(t *testing.T) {
+	r := &Recorder{Limit: 2}
+	other := boundaryEvent(1)
+	other.Core = 3
+	r.TraceDecision(other) // filtered: wrong core
+	for i := 1; i <= 5; i++ {
+		r.TraceDecision(boundaryEvent(i))
+	}
+	if got := r.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2 (limit)", got)
+	}
+	if got := r.Truncated(); got != 3 {
+		t.Errorf("Truncated = %d, want 3", got)
+	}
+	if s := r.Series(); s.Meta.Truncated != 3 {
+		t.Errorf("Meta.Truncated = %d, want 3", s.Meta.Truncated)
+	}
+}
+
+// TestRecorderAllocs proves the append path is allocation-free once
+// capacity is reserved — the property that lets the service record every
+// job without perturbing the engine's 0 allocs/op contract.
+func TestRecorderAllocs(t *testing.T) {
+	r := &Recorder{}
+	r.Reserve(1024)
+	i := 0
+	allocs := testing.AllocsPerRun(512, func() {
+		i++
+		r.TraceDecision(boundaryEvent(i))
+	})
+	if allocs != 0 {
+		t.Errorf("TraceDecision allocated %.1f times per op with reserved capacity, want 0", allocs)
+	}
+}

@@ -1,0 +1,57 @@
+package series
+
+import (
+	"math"
+	"sort"
+)
+
+// Bucket summarises one downsampling window of a column.
+type Bucket struct {
+	// Start is the 1-based interval index the window begins at.
+	Start int     `json:"start"`
+	N     int     `json:"n"`
+	Min   float64 `json:"min"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	P95   float64 `json:"p95"`
+}
+
+// Downsample reduces a column to fixed-width windows of `step` intervals
+// (the last window may be shorter), reporting min/mean/max/p95 for each.
+// step <= 1 returns one single-value bucket per interval.
+func Downsample(col []float64, step int) []Bucket {
+	if step < 1 {
+		step = 1
+	}
+	buckets := make([]Bucket, 0, (len(col)+step-1)/step)
+	scratch := make([]float64, 0, step)
+	for start := 0; start < len(col); start += step {
+		end := start + step
+		if end > len(col) {
+			end = len(col)
+		}
+		w := col[start:end]
+		b := Bucket{Start: start + 1, N: len(w), Min: math.Inf(1), Max: math.Inf(-1)}
+		sum := 0.0
+		for _, v := range w {
+			sum += v
+			if v < b.Min {
+				b.Min = v
+			}
+			if v > b.Max {
+				b.Max = v
+			}
+		}
+		b.Mean = sum / float64(len(w))
+		scratch = append(scratch[:0], w...)
+		sort.Float64s(scratch)
+		// Nearest-rank p95: the ceil(0.95n)-th smallest value.
+		rank := int(math.Ceil(0.95*float64(len(scratch)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		b.P95 = scratch[rank]
+		buckets = append(buckets, b)
+	}
+	return buckets
+}

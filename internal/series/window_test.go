@@ -1,0 +1,41 @@
+package series
+
+import "testing"
+
+func TestDownsample(t *testing.T) {
+	col := []float64{1, 2, 3, 4, 5, 6, 7}
+	bs := Downsample(col, 3)
+	if len(bs) != 3 {
+		t.Fatalf("got %d buckets, want 3", len(bs))
+	}
+	b := bs[0]
+	if b.Start != 1 || b.N != 3 || b.Min != 1 || b.Max != 3 || b.Mean != 2 || b.P95 != 3 {
+		t.Errorf("bucket 0 = %+v", b)
+	}
+	last := bs[2]
+	if last.Start != 7 || last.N != 1 || last.Min != 7 || last.Max != 7 || last.Mean != 7 || last.P95 != 7 {
+		t.Errorf("last bucket = %+v", last)
+	}
+}
+
+func TestDownsampleStepOne(t *testing.T) {
+	bs := Downsample([]float64{4, 9}, 1)
+	if len(bs) != 2 || bs[0].Mean != 4 || bs[1].Mean != 9 {
+		t.Errorf("step-1 buckets = %+v", bs)
+	}
+	if got := Downsample(nil, 5); len(got) != 0 {
+		t.Errorf("empty column produced %d buckets", len(got))
+	}
+}
+
+func TestDownsampleP95(t *testing.T) {
+	col := make([]float64, 100)
+	for i := range col {
+		col[i] = float64(i + 1) // 1..100
+	}
+	bs := Downsample(col, 100)
+	// Nearest-rank p95 of 1..100 is the 95th smallest value.
+	if bs[0].P95 != 95 {
+		t.Errorf("P95 = %g, want 95", bs[0].P95)
+	}
+}

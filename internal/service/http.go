@@ -38,6 +38,11 @@ type JobRequest struct {
 	// GET /v1/jobs/{id}/trace once the job is terminal.
 	Trace bool `json:"trace,omitempty"`
 
+	// Series makes the job record its interval timeseries, queryable at
+	// GET /v1/jobs/{id}/series once the job is terminal and diffable
+	// against another run at GET /v1/diff.
+	Series bool `json:"series,omitempty"`
+
 	// Tenant attributes the job to a scheduler tenant for fair queueing
 	// and quotas; empty means the default tenant. Priority orders the job
 	// within the tenant's queue (higher runs sooner).
@@ -132,6 +137,8 @@ func (r *JobRequest) BuildConfig() sim.Config {
 //	GET    /v1/jobs/{id}/events   SSE per-interval progress
 //	GET    /v1/jobs/{id}/trace    download the FDP decision trace
 //	                              (JSONL; ?format=chrome for Perfetto)
+//	GET    /v1/jobs/{id}/series   interval timeseries (?metrics=, ?step=,
+//	                              ?format=json|csv)
 //	GET    /v1/jobs/{id}/spans    fabric spans (JSON; ?format=chrome)
 //	DELETE /v1/jobs/{id}          cancel
 //	POST   /v1/sweeps             submit a parameter grid (202; 400 invalid)
@@ -141,6 +148,10 @@ func (r *JobRequest) BuildConfig() sim.Config {
 //	GET    /v1/sweeps/{id}/results merged results (JSON; ?format=text for tables)
 //	GET    /v1/sweeps/{id}/trace  whole-sweep fabric trace (Chrome/Perfetto;
 //	                              ?format=json for raw spans)
+//	GET    /v1/sweeps/{id}/series merged (mean) interval timeseries across
+//	                              the sweep's cells
+//	GET    /v1/diff               run-diff two fingerprints' series
+//	                              (?a=, ?b=, ?skip_a=, ?skip_b=)
 //	DELETE /v1/sweeps/{id}        cancel every non-terminal cell
 //	GET    /debug/events          fabric-span flight recorder (last N spans)
 //	GET    /metrics               Prometheus text metrics
@@ -156,6 +167,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/series", s.handleSeries)
 	mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleJobSpans)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
@@ -164,6 +176,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
 	mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.handleSweepTrace)
+	mux.HandleFunc("GET /v1/sweeps/{id}/series", s.handleSweepSeries)
+	mux.HandleFunc("GET /v1/diff", s.handleDiff)
 	mux.HandleFunc("GET /debug/events", s.handleDebugEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -216,6 +230,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var opts []SubmitOption
 	if req.Trace {
 		opts = append(opts, WithDecisionTrace())
+	}
+	if req.Series {
+		opts = append(opts, WithSeriesRecording())
 	}
 	if req.Spec != nil {
 		opts = append(opts, WithWorkloadSpec(req.Spec))

@@ -61,6 +61,15 @@ type metrics struct {
 	traceEvents    atomic.Uint64 // decision events captured into job traces
 	traceTruncated atomic.Uint64 // decision events dropped by per-job trace limits
 
+	// Interval-timeseries recording and the run-diff endpoint.
+	seriesPoints atomic.Uint64 // metric points (intervals × catalog width) recorded into sidecars
+	seriesBytes  atomic.Uint64 // encoded sidecar bytes produced
+	// diffVerdicts counts GET /v1/diff requests by report verdict
+	// ("pass"/"fail", plus "error" for requests that never produced a
+	// report). Writes are per-request, so a mutex over a small map is fine.
+	diffMu       sync.Mutex
+	diffVerdicts map[string]uint64
+
 	// Cycle-accounting and bus-occupancy aggregates over attribution jobs
 	// (zero-sample intervals from non-attribution jobs contribute nothing).
 	// Indexed by stallBucketNames / busKindNames order.
@@ -134,6 +143,16 @@ func (m *metrics) init(queueWaitBuckets []float64) {
 	// Pre-seed the default controller so the family is present (all-zero)
 	// on an idle server, matching the old unlabeled series' behavior.
 	m.insertions = map[string]*[cache.NumInsertPos]uint64{defaultController: new([cache.NumInsertPos]uint64)}
+	// Pre-seed the diff verdicts so the family renders (all-zero) before
+	// the first GET /v1/diff.
+	m.diffVerdicts = map[string]uint64{"pass": 0, "fail": 0}
+}
+
+// countDiff records one GET /v1/diff request under its report verdict.
+func (m *metrics) countDiff(verdict string) {
+	m.diffMu.Lock()
+	m.diffVerdicts[verdict]++
+	m.diffMu.Unlock()
 }
 
 // defaultController labels series from jobs that leave Config.Controller
@@ -446,6 +465,27 @@ func (m *metrics) render(w io.Writer, queued int, uptime time.Duration, dccLevel
 	counter("traces_collected_total", "Jobs that collected an FDP decision trace.", m.traces.Load())
 	counter("trace_events_total", "Decision events captured into job traces.", m.traceEvents.Load())
 	counter("trace_events_truncated_total", "Decision events dropped by per-job trace limits.", m.traceTruncated.Load())
+
+	// Series families keep the sim_* naming like sim_intervals_total: they
+	// count simulation observables, not daemon mechanics.
+	counter("sim_series_points_total", "Metric points (intervals x catalog width) recorded into interval-timeseries sidecars.", m.seriesPoints.Load())
+	counter("sim_series_bytes_total", "Encoded interval-timeseries sidecar bytes produced.", m.seriesBytes.Load())
+
+	fmt.Fprintf(w, "# HELP fdpserved_diff_requests_total GET /v1/diff requests by run-diff report verdict.\n# TYPE fdpserved_diff_requests_total counter\n")
+	m.diffMu.Lock()
+	verdicts := make([]string, 0, len(m.diffVerdicts))
+	for v := range m.diffVerdicts {
+		verdicts = append(verdicts, v)
+	}
+	byVerdict := make(map[string]uint64, len(m.diffVerdicts))
+	for v, n := range m.diffVerdicts {
+		byVerdict[v] = n
+	}
+	m.diffMu.Unlock()
+	sort.Strings(verdicts)
+	for _, v := range verdicts {
+		fmt.Fprintf(w, "fdpserved_diff_requests_total{verdict=%q} %d\n", v, byVerdict[v])
+	}
 
 	fmt.Fprintf(w, "# HELP fdpserved_sim_stall_cycles_total Simulated core cycles by top-down cause, across attribution jobs.\n")
 	fmt.Fprintf(w, "# TYPE fdpserved_sim_stall_cycles_total counter\n")

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"fdpsim/internal/obs"
+	"fdpsim/internal/series"
 	"fdpsim/internal/sim"
 	"fdpsim/internal/store"
 	"fdpsim/internal/workload/spec"
@@ -76,6 +77,10 @@ type Config struct {
 	// job; later intervals are counted as truncated instead of growing the
 	// buffer without bound. 0 means 16384 events (~5 MB of JSONL).
 	TraceLimit int
+	// SeriesLimit caps the interval count recorded per series-enabled job;
+	// later boundaries are counted as truncated in the sidecar's Meta.
+	// 0 means 65536 intervals (~13 MB of columns in memory).
+	SeriesLimit int
 
 	// Tenants is the scheduler roster: per-tenant fair-share weights and
 	// quotas. Tenants absent from the roster auto-register at weight 1
@@ -166,6 +171,13 @@ type Job struct {
 	trace      *obs.Collector
 	traceJSONL []byte
 
+	// series, when non-nil, records the run's interval timeseries (the
+	// job was submitted with WithSeriesRecording). seriesBin is the
+	// encoded sidecar document, set when the job reaches a terminal state
+	// (or immediately on a cache hit whose sidecar the store still has).
+	series    *series.Recorder
+	seriesBin []byte
+
 	// Fabric trace identity (immutable after Submit): traceID threads the
 	// job's spans, rootSpan is its "job" span ID, parentSpan links it under
 	// a submitter's span (sweep root, or an X-Fdp-Trace header). spans are
@@ -195,6 +207,19 @@ func (j *Job) Trace() (jsonl []byte, ok bool) {
 	return j.traceJSONL, true
 }
 
+// SeriesData returns the job's encoded interval-timeseries sidecar
+// (internal/series binary document). ok is false when the job was not
+// submitted with series recording, has not reached a terminal state yet,
+// or completed as a cache hit whose sidecar the store no longer has.
+func (j *Job) SeriesData() (doc []byte, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.seriesBin == nil {
+		return nil, false
+	}
+	return j.seriesBin, true
+}
+
 // JobStatus is the JSON shape of a job, returned by poll and embedded in
 // the SSE "done" event.
 type JobStatus struct {
@@ -215,6 +240,9 @@ type JobStatus struct {
 	// Trace reports that a decision-trace artifact is downloadable at
 	// GET /v1/jobs/{id}/trace.
 	Trace bool `json:"trace,omitempty"`
+	// Series reports that an interval-timeseries artifact is queryable at
+	// GET /v1/jobs/{id}/series.
+	Series bool `json:"series,omitempty"`
 }
 
 // Status snapshots the job for serialization.
@@ -235,6 +263,7 @@ func (j *Job) Status() JobStatus {
 		Error:       j.errMsg,
 		Result:      j.result,
 		Trace:       j.traceJSONL != nil,
+		Series:      j.seriesBin != nil,
 	}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt
@@ -322,6 +351,9 @@ type Server struct {
 // defaultTraceLimit bounds a traced job's in-memory event buffer.
 const defaultTraceLimit = 16384
 
+// defaultSeriesLimit bounds a series-enabled job's recorded intervals.
+const defaultSeriesLimit = 65536
+
 // New builds a Server and starts its worker pool.
 func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
@@ -332,6 +364,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.TraceLimit <= 0 {
 		cfg.TraceLimit = defaultTraceLimit
+	}
+	if cfg.SeriesLimit <= 0 {
+		cfg.SeriesLimit = defaultSeriesLimit
 	}
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = 30 * time.Second
@@ -429,6 +464,7 @@ type SubmitOption func(*submitOptions)
 
 type submitOptions struct {
 	trace      bool
+	series     bool
 	spec       *spec.Spec
 	specSet    bool // WithWorkloadSpec given, even with a nil spec (rejected)
 	tenant     string
@@ -444,6 +480,15 @@ type submitOptions struct {
 // the persisted trace when the store still has one.
 func WithDecisionTrace() SubmitOption {
 	return func(o *submitOptions) { o.trace = true }
+}
+
+// WithSeriesRecording makes the job record its interval timeseries (one
+// catalog row per FDP sampling interval, bounded by Config.SeriesLimit),
+// queryable at GET /v1/jobs/{id}/series and diffable at GET /v1/diff once
+// the job is terminal. Cache hits reuse the persisted sidecar when the
+// store still has one.
+func WithSeriesRecording() SubmitOption {
+	return func(o *submitOptions) { o.series = true }
 }
 
 // WithWorkloadSpec makes the job run a declarative WorkloadSpec instead
@@ -549,11 +594,14 @@ func (s *Server) Submit(cfg sim.Config, opts ...SubmitOption) (*Job, error) {
 	if o.trace {
 		job.trace = &obs.Collector{Limit: s.cfg.TraceLimit}
 	}
+	if o.series {
+		job.series = &series.Recorder{Limit: s.cfg.SeriesLimit}
+	}
 	s.jobs[job.id] = job
 	s.mu.Unlock()
 	s.m.submitted.Add(1)
 	s.log.Info("job submitted", "job", job.id, "fingerprint", shortFP(fp),
-		"workload", cfg.Workload, "prefetcher", cfg.Prefetcher, "trace", o.trace)
+		"workload", cfg.Workload, "prefetcher", cfg.Prefetcher, "trace", o.trace, "series", o.series)
 
 	if res, ok := s.cacheLookup(fp); ok {
 		s.m.cacheHits.Add(1)
@@ -562,9 +610,14 @@ func (s *Server) Submit(cfg sim.Config, opts ...SubmitOption) (*Job, error) {
 		if o.trace && s.cfg.Store != nil {
 			trace, _ = s.cfg.Store.GetTrace(fp)
 		}
+		var seriesBin []byte
+		if o.series && s.cfg.Store != nil {
+			seriesBin, _ = s.cfg.Store.GetSeries(fp)
+		}
 		job.mu.Lock()
 		job.cacheHit = true
 		job.traceJSONL = trace
+		job.seriesBin = seriesBin
 		job.finishLocked(StateDone, &res, "")
 		submitted, finished := job.submittedAt, job.finishedAt
 		job.mu.Unlock()
@@ -770,10 +823,17 @@ func (s *Server) runJob(job *Job) {
 			}
 		}
 	}
-	cfg.Tracer = nil
+	// The tracer fans out to whichever synchronous sinks the submission
+	// asked for (decision-trace collector, series recorder); obs.Tee
+	// collapses the common zero- and one-sink cases to no wrapper at all.
+	var sinks []sim.Tracer
 	if job.trace != nil {
-		cfg.Tracer = job.trace
+		sinks = append(sinks, job.trace)
 	}
+	if job.series != nil {
+		sinks = append(sinks, job.series)
+	}
+	cfg.Tracer = obs.Tee(sinks...)
 	s.m.executions.Add(1)
 	runStart := time.Now()
 	var res sim.Result
@@ -825,6 +885,27 @@ func (s *Server) runJob(job *Job) {
 		}
 	}
 
+	// Encode the interval-timeseries sidecar under the same contract:
+	// available the moment Done() closes, persisted only for full runs.
+	var seriesBin []byte
+	if job.series != nil {
+		sr := job.series.Series()
+		sr.Meta.Workload = cfg.Workload
+		sr.Meta.Prefetcher = string(cfg.Prefetcher)
+		if doc, serr := series.Encode(sr); serr == nil {
+			seriesBin = doc
+			s.m.seriesPoints.Add(uint64(sr.Len() * len(sr.Meta.Metrics)))
+			s.m.seriesBytes.Add(uint64(len(doc)))
+			if err == nil && s.cfg.Store != nil {
+				_ = s.cfg.Store.PutSeries(job.fp, doc)
+			}
+		}
+		if truncated := job.series.Truncated(); truncated > 0 {
+			s.log.Warn("interval series truncated", "job", job.id,
+				"kept", job.series.Len(), "truncated", truncated)
+		}
+	}
+
 	var storeDur time.Duration
 	if err == nil {
 		// Cache before finishing so a poller that sees state "done" and
@@ -837,6 +918,7 @@ func (s *Server) runJob(job *Job) {
 	}
 	job.mu.Lock()
 	job.traceJSONL = traceJSONL
+	job.seriesBin = seriesBin
 	switch {
 	case err == nil:
 		s.m.completed.Add(1)

@@ -136,6 +136,9 @@ func (s *Server) SubmitSweepTrace(req sweep.Request, traceID, parentSpan string)
 		if u.Spec != nil {
 			opts = append(opts, WithWorkloadSpec(u.Spec))
 		}
+		if req.Series {
+			opts = append(opts, WithSeriesRecording())
+		}
 		j, err := s.Submit(u.Cfg, opts...)
 		if err != nil {
 			// Unreachable except for a shutdown racing the admission:

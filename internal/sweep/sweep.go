@@ -71,6 +71,11 @@ type Request struct {
 	TInterval uint64 `json:"tinterval,omitempty"`
 	// Attribution enables the cycle-accounting layer on every cell.
 	Attribution bool `json:"attribution,omitempty"`
+	// Series records each cell's interval timeseries (internal/series),
+	// queryable per job at GET /v1/jobs/{id}/series and merged across the
+	// sweep at GET /v1/sweeps/{id}/series. It does not enter the cell
+	// fingerprint: a series-enabled sweep still hits the result cache.
+	Series bool `json:"series,omitempty"`
 }
 
 // ConfigAxis is one point on the configuration axis, assembling a
